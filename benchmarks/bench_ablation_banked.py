@@ -1,0 +1,62 @@
+"""Ablation: intermediate tag-memory widths (banked serial lookup).
+
+The paper mentions ``b x t``-wide implementations (1 < b < a) as a
+possible middle ground but does not evaluate them. This benchmark
+does: banked lookups must interpolate monotonically between the naive
+scheme (b=1) and the traditional implementation (b=a).
+"""
+
+from _bench_utils import once, save_result
+
+from repro.cache.hierarchy import replay_miss_stream
+from repro.cache.observers import ProbeObserver
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.banked import BankedLookup
+from repro.experiments.configs import parse_geometry
+from repro.experiments.report import render_table
+
+ASSOCIATIVITY = 8
+BANKS = (1, 2, 4, 8)
+
+
+def sweep(runner):
+    stream = runner.miss_stream(parse_geometry("16K-16"))
+    l2 = SetAssociativeCache(256 * 1024, 32, ASSOCIATIVITY)
+    observers = {
+        b: ProbeObserver(BankedLookup(ASSOCIATIVITY, banks=b), label=f"b={b}")
+        for b in BANKS
+    }
+    l2.attach_all(observers.values())
+    replay_miss_stream(stream, l2)
+    return {
+        b: (o.accumulator.probes_per_hit,
+            o.accumulator.probes_per_miss,
+            o.accumulator.probes_per_access)
+        for b, o in observers.items()
+    }
+
+
+def test_banked_widths(benchmark, runner, results_dir):
+    results = once(benchmark, sweep, runner)
+
+    # Monotone improvement with width, down to 1 probe at b=a.
+    totals = [results[b][2] for b in BANKS]
+    assert totals == sorted(totals, reverse=True)
+    hits, misses, _ = results[ASSOCIATIVITY]
+    assert hits == 1.0
+    assert misses == 1.0
+    # Miss cost is exactly a/b probes.
+    for b in BANKS:
+        assert results[b][1] == ASSOCIATIVITY / b
+
+    rows = [
+        (f"b={b}", f"{b}xt bits", results[b][0], results[b][1], results[b][2])
+        for b in BANKS
+    ]
+    rendered = render_table(
+        ["banks", "tag memory", "hit probes", "miss probes", "probes/access"],
+        rows,
+        title=f"Ablation: banked tag-memory widths ({ASSOCIATIVITY}-way, "
+        "16K-16 / 256K-32)",
+    )
+    save_result(results_dir, "ablation_banked", rendered)

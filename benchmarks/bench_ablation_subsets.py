@@ -1,0 +1,78 @@
+"""Ablation: how many subsets should the partial-compare scheme use?
+
+The paper gives three answers (§2.2); this benchmark checks them
+empirically for a 16-way cache with 16-bit tags by sweeping every
+legal subset count and comparing measured total probes against the
+analytic enumeration.
+"""
+
+from _bench_utils import once, save_result
+
+from repro.cache.hierarchy import replay_miss_stream
+from repro.cache.observers import ProbeObserver
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.analysis import default_subsets, optimal_subsets
+from repro.core.partial import PartialCompareLookup
+from repro.experiments.configs import parse_geometry
+from repro.experiments.report import render_table
+
+ASSOCIATIVITY = 16
+TAG_BITS = 16
+
+
+def sweep(runner):
+    stream = runner.miss_stream(parse_geometry("16K-16"))
+    l2 = SetAssociativeCache(256 * 1024, 32, ASSOCIATIVITY)
+    observers = {}
+    subsets = 1
+    while subsets <= ASSOCIATIVITY:
+        if TAG_BITS * subsets // ASSOCIATIVITY >= 1:
+            scheme = PartialCompareLookup(
+                ASSOCIATIVITY, tag_bits=TAG_BITS, subsets=subsets
+            )
+            observer = ProbeObserver(scheme, label=f"s={subsets}")
+            observers[subsets] = observer
+            l2.attach(observer)
+        subsets *= 2
+    replay_miss_stream(stream, l2)
+    local_miss = l2.stats.local_miss_ratio
+    totals = {
+        s: o.accumulator.probes_per_access for s, o in observers.items()
+    }
+    return local_miss, totals
+
+
+def test_subset_sweep(benchmark, runner, results_dir):
+    local_miss, totals = once(benchmark, sweep, runner)
+
+    empirical_best = min(totals, key=totals.get)
+    analytic_best = optimal_subsets(ASSOCIATIVITY, TAG_BITS, local_miss)
+    rule_of_thumb = default_subsets(ASSOCIATIVITY, TAG_BITS)
+
+    # The measured optimum agrees with the analytic enumeration to
+    # within one power of two (cold sets and non-uniform tags shift
+    # the crossover slightly).
+    assert 0.5 <= empirical_best / analytic_best <= 2.0
+    # ... and the paper's rule of thumb (>= 4-bit compares) is within
+    # a step of the empirical optimum too.
+    assert 0.5 <= empirical_best / rule_of_thumb <= 2.0
+
+    # The extremes are worse than the middle: s=1 gives 1-bit compares
+    # (false matches everywhere), s=16 is the naive scheme.
+    mid = totals[rule_of_thumb]
+    assert totals[1] > mid
+    assert totals[ASSOCIATIVITY] > mid
+
+    rows = [
+        (f"s={s}", TAG_BITS * s // ASSOCIATIVITY, probes,
+         "*" if s == empirical_best else "")
+        for s, probes in sorted(totals.items())
+    ]
+    rendered = render_table(
+        ["subsets", "k (bits)", "probes/access", "best"],
+        rows,
+        title=f"Ablation: subset count, {ASSOCIATIVITY}-way, t={TAG_BITS}, "
+        f"local miss {local_miss:.3f} "
+        f"(analytic best s={analytic_best}, rule of thumb s={rule_of_thumb})",
+    )
+    save_result(results_dir, "ablation_subsets", rendered)

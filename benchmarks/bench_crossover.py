@@ -1,0 +1,66 @@
+"""Benchmark: the associativity crossover in effective access time.
+
+The paper's economic argument (§1, Figure 3 caption): the serial
+implementations are slower per lookup, but "lower effective access
+times may nevertheless result, particularly as miss latencies are
+increased, since higher associativity results in lower miss ratios".
+This benchmark computes the crossover miss penalty — the memory
+latency beyond which each serial a-way design beats a direct-mapped
+level-two cache of the same capacity — from measured probes and miss
+ratios plus the Table 2 DRAM timings.
+"""
+
+from _bench_utils import once, save_result
+
+from repro.experiments.report import render_table
+from repro.hardware.effective import crossover_miss_penalty_ns, tag_path_ns
+
+ASSOCIATIVITIES = (2, 4, 8)
+
+
+def sweep(runner):
+    direct = runner.run("16K-16", "256K-32", 1)
+    rows = []
+    for a in ASSOCIATIVITIES:
+        result = runner.run("16K-16", "256K-32", a)
+        for design, scheme in (("mru", "mru"), ("partial", "partial")):
+            data = result.schemes[scheme]
+            readin_share = 1 - result.fraction_writebacks
+            probes = data.total / readin_share if readin_share else data.total
+            crossover = crossover_miss_penalty_ns(
+                design, "dram", probes,
+                result.local_miss_ratio, direct.local_miss_ratio,
+            )
+            rows.append(
+                (a, design, probes, result.local_miss_ratio,
+                 tag_path_ns(design, "dram", probes), crossover)
+            )
+    return direct.local_miss_ratio, rows
+
+
+def test_crossover(benchmark, runner, results_dir):
+    direct_miss, rows = once(benchmark, sweep, runner)
+
+    for a, design, probes, miss, tag_ns, crossover in rows:
+        # Associativity reduces the local miss ratio, so a finite,
+        # positive crossover penalty must exist...
+        assert miss < direct_miss
+        assert 0 < crossover < float("inf")
+        # ...and the serial tag path is indeed slower than the 136 ns
+        # direct-mapped access, which is what creates the trade-off.
+        assert tag_ns > 136.0
+
+    # Partial's cheaper probes give it a lower crossover than MRU at
+    # every associativity measured here.
+    by_key = {(a, d): c for a, d, _, _, _, c in rows}
+    for a in ASSOCIATIVITIES:
+        assert by_key[(a, "partial")] <= by_key[(a, "mru")]
+
+    rendered = render_table(
+        ["assoc", "design", "probes/read-in", "local miss",
+         "tag path (ns)", "crossover penalty (ns)"],
+        rows,
+        title=f"Effective-access crossover vs direct-mapped "
+        f"(direct local miss {direct_miss:.3f}; DRAM trial design)",
+    )
+    save_result(results_dir, "crossover", rendered)

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 3 (probes vs associativity, with and
+without the write-back optimization; 16K-16 L1 over 256K-32 L2).
+
+Shape assertions: the traditional implementation is flat and minimal;
+probes grow with associativity for every serial scheme; the write-back
+optimization helps every scheme (write-backs are ~20% of L2 requests);
+partial is the best low-cost scheme and naive the worst at wide
+associativity.
+"""
+
+from _bench_utils import once, save_figure
+
+from repro.experiments.figures import build_figure3
+
+
+def test_figure3(benchmark, runner, results_dir):
+    figure = once(benchmark, build_figure3, runner)
+
+    for a in (2, 4, 8, 16):
+        trad = figure.series["traditional (wb-opt)"][a]
+        assert trad <= 1.0
+
+        for scheme in ("naive", "mru", "partial"):
+            optimized = figure.series[f"{scheme} (wb-opt)"][a]
+            raw = figure.series[f"{scheme} (no-opt)"][a]
+            assert raw > optimized
+            assert optimized >= trad
+
+    # Monotone growth with associativity.
+    for name in ("naive (wb-opt)", "mru (wb-opt)", "partial (wb-opt)"):
+        series = figure.series[name]
+        assert series[2] < series[4] < series[8] < series[16]
+
+    # Ordering at wide associativity: partial < mru < naive.
+    assert (
+        figure.series["partial (wb-opt)"][16]
+        < figure.series["mru (wb-opt)"][16]
+        < figure.series["naive (wb-opt)"][16]
+    )
+
+    save_figure(results_dir, "figure3", figure)

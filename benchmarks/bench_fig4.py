@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 4 (probes for read-in hits vs misses).
+
+Shape assertions from the paper: on hits, partial and MRU are close
+and naive is considerably worse; on misses, partial dominates the
+``a`` and ``a+1`` probes of the naive and MRU schemes.
+"""
+
+from _bench_utils import once, save_figure
+
+import pytest
+
+from repro.experiments.figures import build_figure4
+
+
+def test_figure4(benchmark, runner, results_dir):
+    figure = once(benchmark, build_figure4, runner)
+
+    for a in (4, 8, 16):
+        # Misses: exact for naive/MRU, dominated by partial.
+        assert figure.series["naive misses"][a] == pytest.approx(a)
+        assert figure.series["mru misses"][a] == pytest.approx(a + 1)
+        assert figure.series["partial misses"][a] < a
+
+        # Hits: naive considerably worse than both MRU and partial.
+        naive = figure.series["naive hits"][a]
+        mru = figure.series["mru hits"][a]
+        partial = figure.series["partial hits"][a]
+        assert naive > mru
+        assert naive > partial
+        # MRU and partial close on hits (within ~40% of each other).
+        assert abs(mru - partial) / min(mru, partial) < 0.4
+
+    save_figure(results_dir, "figure4", figure)

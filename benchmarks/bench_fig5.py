@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 5 (reduced MRU lists; MRU-distance
+hit distributions).
+
+Shape assertions from the paper: a reduced list approaches full-list
+performance, and the list length needed grows with associativity (a
+2-entry list is enough at 8-way; 16-way needs ~4 entries); the
+probability of a first-entry hit falls as associativity grows (75% /
+60% / 36% at 4/8/16-way in the paper).
+"""
+
+from _bench_utils import once, save_figure, save_result
+
+from repro.experiments.figures import build_figure5
+
+
+def test_figure5(benchmark, runner, results_dir):
+    figure = once(benchmark, build_figure5, runner)
+
+    full = figure.left.series["full list"]
+    for a in (4, 8, 16):
+        lengths = [m for m in (1, 2, 4, 8) if m < a]
+        values = [figure.left.series[f"list length {m}"][a] for m in lengths]
+        # Longer lists monotonically approach the full list.
+        for shorter, longer in zip(values, values[1:]):
+            assert longer <= shorter + 1e-9
+        assert values[-1] >= full[a] - 1e-9
+        # The longest reduced list is close to the full list.
+        assert values[-1] - full[a] < 0.5
+
+    # A 2-entry list suffices at 8-way (within ~15% of full).
+    assert figure.left.series["list length 2"][8] / full[8] < 1.15
+    # At 16-way, 2 entries are NOT enough but 4 get close.
+    assert figure.left.series["list length 4"][16] / full[16] < 1.2
+    assert (
+        figure.left.series["list length 2"][16]
+        > figure.left.series["list length 4"][16]
+    )
+
+    # f_1 decreases with associativity (paper: 75% / 60% / 36%).
+    f1 = {a: dist[0] for a, dist in figure.distributions.items()}
+    assert f1[4] > f1[8] > f1[16]
+    assert 0.2 < f1[16] < f1[4] < 0.95
+
+    save_result(results_dir, "figure5", figure.render())
+    save_figure(results_dir, "figure5_left", figure.left)

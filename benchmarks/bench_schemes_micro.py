@@ -1,0 +1,64 @@
+"""Micro-benchmarks: single-lookup cost of each scheme model.
+
+These are classic pytest-benchmark timings (many rounds) of the pure
+probe-counting kernels, independent of any trace.
+"""
+
+import random
+
+import pytest
+
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.core.probes import SetView
+from repro.core.traditional import TraditionalLookup
+
+
+def make_views(associativity, count=256, seed=3):
+    rng = random.Random(seed)
+    views = []
+    for _ in range(count):
+        tags = []
+        seen = set()
+        for _ in range(associativity):
+            tag = rng.randrange(2**16)
+            while tag in seen:
+                tag = (tag + 1) % 2**16
+            seen.add(tag)
+            tags.append(tag)
+        order = list(range(associativity))
+        rng.shuffle(order)
+        views.append(SetView(tags=tuple(tags), mru_order=tuple(order)))
+    return views
+
+
+@pytest.mark.parametrize("associativity", [4, 16])
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [
+        TraditionalLookup,
+        NaiveLookup,
+        MRULookup,
+        lambda a: PartialCompareLookup(a, tag_bits=16),
+    ],
+    ids=["traditional", "naive", "mru", "partial"],
+)
+def test_lookup_throughput(benchmark, associativity, scheme_factory):
+    scheme = scheme_factory(associativity)
+    views = make_views(associativity)
+    rng = random.Random(9)
+    probes_per_call = [
+        (view, view.tags[rng.randrange(associativity)] if rng.random() < 0.8
+         else rng.randrange(2**16))
+        for view in views
+    ]
+
+    def run():
+        total = 0
+        for view, tag in probes_per_call:
+            total += scheme.lookup(view, tag).probes
+        return total
+
+    total = benchmark(run)
+    assert total >= len(views)

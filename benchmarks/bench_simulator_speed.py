@@ -1,0 +1,79 @@
+"""Micro-benchmarks: simulator throughput.
+
+References/second through the L1 and requests/second through an
+instrumented L2 — the numbers that determine how large a workload
+scale is affordable.
+"""
+
+import pytest
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.hierarchy import capture_miss_stream, replay_miss_stream
+from repro.cache.observers import ProbeObserver
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.trace.synthetic import AtumWorkload
+
+
+@pytest.fixture(scope="module")
+def references():
+    workload = AtumWorkload(segments=1, references_per_segment=30_000, seed=21)
+    return [r for r in workload if not r.is_flush]
+
+
+@pytest.fixture(scope="module")
+def stream(references):
+    l1 = DirectMappedCache(4096, 16)
+    workload = AtumWorkload(segments=1, references_per_segment=30_000, seed=21)
+    return capture_miss_stream(iter(workload), l1)
+
+
+def test_generation_throughput(benchmark):
+    def generate():
+        workload = AtumWorkload(
+            segments=1, references_per_segment=10_000, seed=22
+        )
+        return sum(1 for _ in workload)
+
+    count = benchmark(generate)
+    assert count == 10_000
+
+
+def test_l1_throughput(benchmark, references):
+    def run():
+        l1 = DirectMappedCache(16 * 1024, 16)
+        for ref in references:
+            l1.access(ref)
+        return l1.stats.readin_misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_l2_replay_throughput_bare(benchmark, stream):
+    def run():
+        l2 = SetAssociativeCache(64 * 1024, 32, 4)
+        replay_miss_stream(stream, l2)
+        return l2.stats.accesses
+
+    accesses = benchmark(run)
+    assert accesses == len(stream)
+
+
+def test_l2_replay_throughput_instrumented(benchmark, stream):
+    def run():
+        l2 = SetAssociativeCache(64 * 1024, 32, 4)
+        l2.attach_all(
+            [
+                ProbeObserver(NaiveLookup(4)),
+                ProbeObserver(MRULookup(4)),
+                ProbeObserver(PartialCompareLookup(4, tag_bits=16)),
+            ]
+        )
+        replay_miss_stream(stream, l2)
+        return l2.stats.accesses
+
+    accesses = benchmark(run)
+    assert accesses == len(stream)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 1 (analytic expected probes).
+
+Pure closed-form arithmetic, so this one is timed normally (many
+rounds) and doubles as a regression check against the paper's values.
+"""
+
+from _bench_utils import save_result
+
+from repro.experiments.tables import build_table1
+
+
+def test_table1(benchmark, results_dir):
+    table = benchmark(build_table1)
+    by_method = {r.method: r for r in table.rows}
+
+    # Paper Table 1, exact.
+    assert by_method["Naive"].hit_probes == 2.5
+    assert by_method["Naive"].miss_probes == 4.0
+    assert round(by_method["Partial (k=4)"].hit_probes, 2) == 2.09
+    assert by_method["Partial (k=4)"].miss_probes == 1.25
+    assert round(by_method["Partial (k=2)"].hit_probes, 2) == 2.88
+    assert by_method["Partial (k=2)"].miss_probes == 3.0
+    assert round(by_method["Partial w/Subsets (k=4)"].hit_probes, 2) == 2.72
+    assert by_method["Partial w/Subsets (k=4)"].miss_probes == 2.5
+    assert 2.0 <= by_method["MRU"].hit_probes <= 5.0
+
+    save_result(results_dir, "table1", table.render())

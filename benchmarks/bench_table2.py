@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 2 (hardware cost/timing model).
+
+Asserts exact agreement with the paper's published access times, cycle
+times, and package counts for all eight design cells.
+"""
+
+from _bench_utils import save_result
+
+from repro.experiments.tables import build_table2
+
+PAPER = {
+    ("direct", "dram"): ("136", "230", 18),
+    ("traditional", "dram"): ("132", "190", 42),
+    ("mru", "dram"): ("150+50x", "250+50(x+u)", 22),
+    ("partial", "dram"): ("150+50y", "250+50y", 21),
+    ("direct", "sram"): ("61", "85", 20),
+    ("traditional", "sram"): ("84", "100", 37),
+    ("mru", "sram"): ("65+55x", "75+55(x+u)", 25),
+    ("partial", "sram"): ("65+55y", "75+55y", 24),
+}
+
+
+def test_table2(benchmark, results_dir):
+    table = benchmark(build_table2)
+    for key, (access, cycle, packages) in PAPER.items():
+        cell = table.cells[key]
+        assert str(cell.access_time) == access
+        assert str(cell.cycle_time) == cycle
+        assert cell.total_packages == packages
+    save_result(results_dir, "table2", table.render())

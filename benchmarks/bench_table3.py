@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (trace + L1 characteristics).
+
+Times the three L1 passes over the workload and checks the measured
+miss ratios against the paper's published values (generous bands — the
+synthetic trace is a calibrated substitute, and the default workload is
+a scaled-down version of the paper's 8M-reference trace).
+"""
+
+from _bench_utils import once, save_result
+
+from repro.experiments.tables import build_table3
+
+PAPER = {"4K-16": 0.1181, "16K-16": 0.0657, "16K-32": 0.0513}
+
+
+def test_table3(benchmark, runner, results_dir):
+    table = once(benchmark, build_table3, runner)
+
+    measured = {r.geometry: r.measured_miss_ratio for r in table.rows}
+    for label, paper in PAPER.items():
+        assert 0.6 * paper < measured[label] < 1.6 * paper, label
+    assert measured["4K-16"] > measured["16K-16"] > measured["16K-32"]
+
+    save_result(results_dir, "table3", table.render())

@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Table 4 (the paper's main results grid).
+
+Eight L1 x L2 configurations at 4/8/16-way, with global/local miss
+ratios, write-back fractions, and probe averages for the naive, MRU,
+and partial schemes under the write-back optimization.
+
+Shape assertions encode the paper's headline findings:
+
+- the partial scheme is best in total for the wide majority of
+  configurations (the paper marks it best in 21 of 24 cells);
+- the naive scheme is never best beyond 4-way;
+- MRU is closest to partial (or better) exactly where the paper says:
+  large L2/L1 block-size and capacity ratios (4K-16 / 256K-64);
+- probe counts grow roughly linearly with associativity.
+"""
+
+from _bench_utils import once, save_result
+
+from repro.experiments.tables import build_table4
+
+
+def test_table4(benchmark, runner, results_dir):
+    table = once(benchmark, build_table4, runner)
+
+    assert len(table.rows) == 24
+
+    best = {(r.l1, r.l2, r.associativity): r.best_total for r in table.rows}
+    partial_wins = sum(1 for b in best.values() if b == "partial")
+    assert partial_wins >= 18
+    assert all(b != "naive" for (l1, l2, a), b in best.items() if a > 4)
+
+    # MRU's favored configuration: within 35% of the winner at 8/16-way
+    # (the paper has MRU narrowly winning; our trace gives a near-tie).
+    for a in (8, 16):
+        row = next(
+            r for r in table.rows_for(a)
+            if (r.l1, r.l2) == ("4K-16", "256K-64")
+        )
+        assert row.mru_total / row.partial_total < 1.35
+        # ... and it must be MRU's best configuration relative to
+        # partial at this associativity.
+        ratios = {
+            (r.l1, r.l2): r.mru_total / r.partial_total
+            for r in table.rows_for(a)
+        }
+        assert min(ratios, key=ratios.get) == ("4K-16", "256K-64")
+
+    # Linear-ish growth with associativity for every scheme.
+    for l1, l2 in (("16K-16", "256K-32"), ("4K-16", "64K-16")):
+        rows = {
+            r.associativity: r
+            for r in table.rows
+            if (r.l1, r.l2) == (l1, l2)
+        }
+        for field in ("naive_total", "mru_total", "partial_total"):
+            values = [getattr(rows[a], field) for a in (4, 8, 16)]
+            assert values[0] < values[1] < values[2]
+
+    save_result(results_dir, "table4", table.render())

@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+One session-scoped :class:`ExperimentRunner` is shared by every
+benchmark so L1 miss streams are captured once; each table/figure
+benchmark times its own L2 replays and table assembly with
+``benchmark.pedantic(rounds=1)`` (a full trace-driven simulation is
+far too expensive to repeat for statistical timing).
+
+Workload size follows REPRO_WORKLOAD_SCALE (default 0.125 of the
+paper's 8M-reference trace — about 1M references in 3 cold-start
+segments). Set REPRO_WORKLOAD_SCALE=1.0 to regenerate everything at
+the paper's full trace length.
+
+Rendered tables/figures are written to ``results/`` at the repository
+root for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _bench_utils import RESULTS_DIR
+from repro.experiments.configs import default_workload
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(default_workload())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,77 @@
+"""A four-node shared-memory multiprocessor, end to end.
+
+Each node runs its own multiprogrammed workload with 8% of data
+references landing in a globally shared segment; stores to shared data
+invalidate remote copies (write-invalidate). This is footnote 1 of the
+paper made concrete with *real* coherence traffic: wider level-two
+associativity keeps invalidated frames working.
+
+Run:
+    python examples/coherent_multiprocessor.py
+"""
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.hierarchy import TwoLevelHierarchy
+from repro.cache.multiprocessor import MultiprocessorSystem, node_workloads
+from repro.cache.set_associative import SetAssociativeCache
+
+NODES = 4
+REFS_PER_NODE = 40_000
+
+
+def build_system(l2_assoc: int, track_ownership: bool = False):
+    nodes = [
+        TwoLevelHierarchy(
+            DirectMappedCache(4 * 1024, 16),
+            SetAssociativeCache(64 * 1024, 32, l2_assoc),
+        )
+        for _ in range(NODES)
+    ]
+    return MultiprocessorSystem(nodes, track_ownership=track_ownership)
+
+
+def run(l2_assoc: int, track_ownership: bool = False):
+    workloads = node_workloads(
+        NODES, segments=1, references_per_segment=REFS_PER_NODE,
+        seed=1989, shared_fraction=0.08,
+    )
+    system = build_system(l2_assoc, track_ownership)
+    system.run([iter(w) for w in workloads], quantum=128)
+    mean_miss = sum(n.l2.stats.local_miss_ratio for n in system.nodes) / NODES
+    return system, mean_miss
+
+
+def main() -> None:
+    print(
+        f"{NODES} nodes x {REFS_PER_NODE} refs, 4K-16 L1 / 64K-32 L2, "
+        "8% shared data\n"
+    )
+    print(f"{'L2 assoc':>8} {'utilization':>12} {'local miss':>11} "
+          f"{'broadcasts':>11} {'invalidations':>14}")
+    for assoc in (1, 2, 4, 8):
+        system, mean_miss = run(assoc)
+        print(
+            f"{assoc:>8} {system.l2_utilization():>12.3f} {mean_miss:>11.3f} "
+            f"{system.stats.total_broadcasts:>11} "
+            f"{system.stats.total_l2_invalidations:>14}"
+        )
+
+    system, mean_miss = run(4, track_ownership=True)
+    print(
+        f"{'4 (MSI)':>8} {system.l2_utilization():>12.3f} {mean_miss:>11.3f} "
+        f"{system.stats.total_broadcasts:>11} "
+        f"{system.stats.total_l2_invalidations:>14}"
+    )
+
+    print(
+        "\nReading: invalidations keep punching holes in every node's L2;\n"
+        "a direct-mapped L2 can only refill a hole when the one conflicting\n"
+        "address returns, while a set-associative L2 refills it on the next\n"
+        "miss to the set - footnote 1's argument for associativity in\n"
+        "multiprocessor caches. The MSI row shows the suppressed broadcasts\n"
+        "are exactly the no-effect ones (identical cache metrics)."
+    )
+
+
+if __name__ == "__main__":
+    main()

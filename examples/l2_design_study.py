@@ -1,0 +1,82 @@
+"""Level-two cache design study: effective access time per
+implementation.
+
+This reproduces the paper's motivating trade-off end to end: the
+serial implementations (MRU, partial compare) spend *more probes* per
+lookup but need *direct-mapped-style hardware*, and their extra probes
+ride cheap page-mode DRAM cycles. Combining the Table 2 timing model
+with trace-driven probe counts answers the designer's question: what
+does each implementation cost in nanoseconds per L2 access?
+
+Run:
+    python examples/l2_design_study.py
+"""
+
+from repro.experiments.runner import ExperimentRunner
+from repro.hardware.costmodel import build_design
+from repro.trace.synthetic import AtumWorkload
+
+ASSOCIATIVITIES = (2, 4, 8)
+
+
+def effective_access_ns(design_name: str, result) -> float:
+    """Average L2 tag-path access time under the DRAM trial design.
+
+    Traditional and direct-mapped designs have fixed access times; the
+    serial designs pay their base time plus the per-probe page-mode
+    term for every probe after the first memory access.
+    """
+    cost = build_design(design_name, "dram")
+    if design_name in ("direct", "traditional"):
+        return cost.access_time.evaluate()
+    scheme = {"mru": "mru", "partial": "partial"}[design_name]
+    data = result.schemes[scheme]
+    readin_share = 1 - result.fraction_writebacks
+    miss_share = result.local_miss_ratio
+    # Average probes per read-in (hits and misses), minus the first
+    # access already included in the base term.
+    avg_probes = (
+        (1 - miss_share) * data.hits / max(readin_share, 1e-12)
+        + miss_share * data.misses
+    )
+    extra = max(0.0, avg_probes - 1.0)
+    return cost.access_time.evaluate(extra)
+
+
+def main() -> None:
+    workload = AtumWorkload(segments=2, references_per_segment=80_000, seed=3)
+    runner = ExperimentRunner(workload)
+
+    print("Trial design: 1M 24-bit tags in page-mode DRAM (paper Table 2)")
+    print("Workload: 16K-16 L1 over 256K-32 L2\n")
+
+    direct_ns = build_design("direct", "dram").access_time.evaluate()
+    print(f"{'assoc':>5}  {'design':<12} {'packages':>8} {'avg access (ns)':>16}")
+    print(f"{'1':>5}  {'direct':<12} {build_design('direct', 'dram').total_packages:>8} {direct_ns:>16.1f}")
+
+    for a in ASSOCIATIVITIES:
+        result = runner.run("16K-16", "256K-32", a)
+        for design in ("traditional", "mru", "partial"):
+            cost = build_design(design, "dram")
+            ns = effective_access_ns(design, result)
+            print(f"{a:>5}  {design:<12} {cost.total_packages:>8} {ns:>16.1f}")
+        # Table 2's cycle expression for MRU is 250+50(x+u); u is the
+        # fraction of accesses that rewrite the MRU list — measurable.
+        mru_cycle = build_design("mru", "dram").cycle_time
+        u = result.mru_update_fraction
+        print(
+            f"{'':>5}  (local miss {result.local_miss_ratio:.3f}, best in "
+            f"probes: {result.best_total()}, measured u={u:.2f} -> MRU "
+            f"cycle {mru_cycle.evaluate(1 + u):.0f} ns at one tag probe)"
+        )
+
+    print(
+        "\nReading: the serial designs are 2x+ slower per access than the\n"
+        "traditional implementation but need half the packages - the\n"
+        "paper's argument for using them where capacity, not latency,\n"
+        "dominates (large level-two caches in multiprocessors)."
+    )
+
+
+if __name__ == "__main__":
+    main()

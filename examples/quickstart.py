@@ -1,0 +1,65 @@
+"""Quickstart: simulate a two-level hierarchy and compare the cost of
+every set-associativity implementation on the level-two cache.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AtumWorkload,
+    DirectMappedCache,
+    MRULookup,
+    NaiveLookup,
+    PartialCompareLookup,
+    ProbeObserver,
+    SetAssociativeCache,
+    TraditionalLookup,
+    TwoLevelHierarchy,
+)
+
+ASSOCIATIVITY = 4
+
+
+def main() -> None:
+    # A small slice of the ATUM-like multiprogrammed workload: two
+    # cold-start segments of 60k references each.
+    workload = AtumWorkload(segments=2, references_per_segment=60_000, seed=1)
+
+    # The paper's reference configuration: 16K-16 direct-mapped L1
+    # over a 256K-32 4-way set-associative L2.
+    l1 = DirectMappedCache(capacity_bytes=16 * 1024, block_size=16)
+    l2 = SetAssociativeCache(
+        capacity_bytes=256 * 1024, block_size=32, associativity=ASSOCIATIVITY
+    )
+
+    # Attach one probe observer per lookup implementation. All of them
+    # watch the same simulation: lookup schemes differ only in how
+    # many probes they spend discovering the (identical) answer.
+    observers = [
+        ProbeObserver(TraditionalLookup(ASSOCIATIVITY)),
+        ProbeObserver(NaiveLookup(ASSOCIATIVITY)),
+        ProbeObserver(MRULookup(ASSOCIATIVITY)),
+        ProbeObserver(PartialCompareLookup(ASSOCIATIVITY, tag_bits=16)),
+    ]
+    l2.attach_all(observers)
+
+    hierarchy = TwoLevelHierarchy(l1, l2)
+    stats = hierarchy.run(workload)
+
+    print(f"processor references : {stats.processor_references}")
+    print(f"L1 miss ratio        : {stats.l1_miss_ratio:.4f}")
+    print(f"L2 local miss ratio  : {stats.l2.local_miss_ratio:.4f}")
+    print(f"global miss ratio    : {stats.global_miss_ratio:.4f}")
+    print(f"fraction write-backs : {stats.l2.fraction_writebacks:.4f}")
+    print()
+    print(f"{'scheme':<12} {'hit probes':>10} {'miss probes':>11} {'per access':>11}")
+    for observer in observers:
+        acc = observer.accumulator
+        print(
+            f"{observer.label:<12} {acc.probes_per_hit:>10.2f} "
+            f"{acc.probes_per_miss:>11.2f} {acc.probes_per_access:>11.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Tag-transformation study (paper §2.2 and Figure 6).
+
+Shows, on real simulated tag contents, why the partial-compare scheme
+needs a tag transformation: virtual-address tags cluster in a few
+regions, so untransformed partial fields collide far more often than
+uniform-random theory predicts. An invertible XOR network fixes most
+of that — and the paper's "improved" lower-triangular GF(2) transform
+is demonstrated to be a bijection whose inverse recovers stored tags
+for write-backs.
+
+Run:
+    python examples/tag_transform_study.py
+"""
+
+from repro.core.analysis import expected_partial_miss_probes
+from repro.core.transforms import make_transform
+from repro.experiments.runner import ExperimentRunner
+from repro.trace.synthetic import AtumWorkload
+
+
+def demonstrate_invertibility() -> None:
+    print("Invertibility (needed to recover tags for write-backs):")
+    for name in ("xor", "improved"):
+        transform = make_transform(name, 16, 4)
+        tag = 0xBEEF
+        stored = transform.apply(tag)
+        recovered = transform.invert(stored)
+        self_inverse = transform.apply(stored) == tag
+        print(
+            f"  {name:>8}: tag={tag:#06x} stored={stored:#06x} "
+            f"recovered={recovered:#06x} self-inverse={self_inverse}"
+        )
+    print()
+
+
+def measure_false_matches() -> None:
+    workload = AtumWorkload(segments=2, references_per_segment=60_000, seed=7)
+    runner = ExperimentRunner(workload)
+
+    print("Partial-compare probes on misses (16K-16 L1, 256K-32 L2):")
+    print(f"{'assoc':>5} {'none':>7} {'xor':>7} {'improved':>9} {'theory':>7}")
+    for a in (4, 8, 16):
+        result = runner.run(
+            "16K-16", "256K-32", a, transforms=("none", "xor", "improved")
+        )
+        from repro.core.analysis import default_subsets
+
+        subsets = default_subsets(a, 16)
+        k = 16 * subsets // a
+        theory = expected_partial_miss_probes(a, k, subsets)
+        row = [result.schemes[f"partial/{t}/t16"].misses
+               for t in ("none", "xor", "improved")]
+        print(
+            f"{a:>5} {row[0]:>7.2f} {row[1]:>7.2f} {row[2]:>9.2f} "
+            f"{theory:>7.2f}"
+        )
+    print(
+        "\nReading: probes beyond the first per subset are false matches -\n"
+        "stored tags that passed the partial compare but failed the full\n"
+        "compare. Untransformed tags ('none') collide most; the XOR and\n"
+        "improved transforms approach the uniform-tag theory line (cold,\n"
+        "partially filled sets can even dip below it: an invalid frame\n"
+        "has no tag to falsely match)."
+    )
+
+
+def main() -> None:
+    demonstrate_invertibility()
+    measure_false_matches()
+
+
+if __name__ == "__main__":
+    main()

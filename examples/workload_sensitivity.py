@@ -1,0 +1,77 @@
+"""Workload sensitivity study: how the calibration knobs move the
+level-one miss ratios.
+
+The synthetic ATUM-like workload stands in for the paper's traces, so
+it is worth seeing how its main locality knobs shape the metric the
+calibration targets (the paper's three L1 miss ratios). Each row
+perturbs one knob from the calibrated default and reruns the three L1
+configurations.
+
+Run:
+    python examples/workload_sensitivity.py
+"""
+
+from dataclasses import replace
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.trace.process_model import ProcessParameters
+from repro.trace.synthetic import AtumWorkload, SegmentParameters
+
+L1_CONFIGS = ((4096, 16), (16384, 16), (16384, 32))
+PAPER = (0.1181, 0.0657, 0.0513)
+
+
+def miss_ratios(params: SegmentParameters) -> list:
+    """L1 miss ratios of the three paper configurations under ``params``."""
+    workload = AtumWorkload(
+        segments=2, references_per_segment=60_000, seed=1989, params=params
+    )
+    ratios = []
+    for capacity, block in L1_CONFIGS:
+        l1 = DirectMappedCache(capacity, block)
+        for ref in workload:
+            if ref.is_flush:
+                l1.invalidate_all()
+                continue
+            l1.access(ref)
+        ratios.append(l1.stats.readin_miss_ratio)
+    return ratios
+
+
+def main() -> None:
+    base = SegmentParameters()
+    variants = [
+        ("calibrated default", base),
+        ("flatter data locality (theta 1.4)",
+         replace(base, user=replace(base.user, data_theta=1.4))),
+        ("tighter data locality (theta 2.1)",
+         replace(base, user=replace(base.user, data_theta=2.1))),
+        ("no pointer chasing",
+         replace(base, user=replace(base.user, chase_fraction=0.0))),
+        ("double pointer chasing",
+         replace(base, user=replace(base.user, chase_fraction=0.124))),
+        ("sequential heap (skip=1, runs 0.25)",
+         replace(base, user=replace(base.user, allocation_skip_max=1,
+                                    sequential_run_probability=0.25))),
+        ("bigger code (64 routines)",
+         replace(base, user=replace(base.user, routines=64))),
+        ("rapid context switching (2k refs)",
+         replace(base, switch_interval=2_000)),
+    ]
+
+    print(f"{'variant':<38} {'4K-16':>8} {'16K-16':>8} {'16K-32':>8}")
+    print(f"{'paper (targets)':<38} {PAPER[0]:>8.4f} {PAPER[1]:>8.4f} {PAPER[2]:>8.4f}")
+    for name, params in variants:
+        ratios = miss_ratios(params)
+        print(f"{name:<38} " + " ".join(f"{r:>8.4f}" for r in ratios))
+
+    print(
+        "\nReading: the chase component mostly sets the miss-ratio level,\n"
+        "data_theta sets the capacity scaling, and allocation skip / run\n"
+        "probability set the block-size scaling - three nearly orthogonal\n"
+        "knobs matched to the paper's three published numbers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Address decomposition for caches.
+
+A byte address splits into block offset (low ``log2(block_size)``
+bits), set index (next ``log2(num_sets)`` bits), and tag (everything
+above). The simulator keeps the *full* tag for hit/miss ground truth;
+the probe models mask it to the paper's ``t``-bit stored-tag width
+themselves.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ConfigurationError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class AddressMapper:
+    """Maps byte addresses to (set index, tag) for one cache geometry."""
+
+    def __init__(self, block_size: int, num_sets: int) -> None:
+        self.block_size = block_size
+        self.num_sets = num_sets
+        self.block_bits = _log2_exact(block_size, "block size")
+        self.set_bits = _log2_exact(num_sets, "number of sets")
+        self._set_mask = num_sets - 1
+
+    def block_address(self, addr: int) -> int:
+        """Block number containing byte ``addr``."""
+        if addr < 0:
+            raise ValueError(f"addresses are non-negative, got {addr}")
+        return addr >> self.block_bits
+
+    def set_index(self, addr: int) -> int:
+        """Set the block containing ``addr`` maps to."""
+        return self.block_address(addr) & self._set_mask
+
+    def tag(self, addr: int) -> int:
+        """Full (unmasked) tag of the block containing ``addr``."""
+        return self.block_address(addr) >> self.set_bits
+
+    def split(self, addr: int) -> tuple:
+        """``(set_index, tag)`` for ``addr`` in one call."""
+        block = self.block_address(addr)
+        return block & self._set_mask, block >> self.set_bits
+
+    def rebuild(self, set_index: int, tag: int) -> int:
+        """Byte address of the first byte of the block ``(set_index, tag)``.
+
+        Inverse of :meth:`split` up to the block offset; used to
+        reconstruct victim addresses for write-backs.
+        """
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError(f"set index {set_index} out of range")
+        block = (tag << self.set_bits) | set_index
+        return block << self.block_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressMapper(block_size={self.block_size}, "
+            f"num_sets={self.num_sets})"
+        )

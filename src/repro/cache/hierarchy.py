@@ -1,0 +1,296 @@
+"""Two-level cache hierarchy and miss-stream capture/replay.
+
+:class:`TwoLevelHierarchy` wires a direct-mapped L1 to a
+set-associative L2 with the paper's protocol: read-in first, then
+write-back of the dirty victim; flush references cold-start both
+levels.
+
+Because the L1 is independent of every L2 parameter under study, the
+L1 pass can be done once per L1 configuration and its *miss stream*
+(the sequence of read-in/write-back requests plus flush markers)
+replayed into many instrumented L2 configurations. This is what makes
+the full Table 4 sweep affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.cache.direct_mapped import DirectMappedCache, MemoryRequest, RequestKind
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.stats import HierarchyStats
+from repro.trace.reference import Reference
+
+
+#: Sentinel in a miss stream marking a cold-start flush boundary.
+FLUSH_MARKER: Tuple[int, int] = (-1, -1)
+
+_KIND_CODES = {RequestKind.READ_IN: 0, RequestKind.WRITE_BACK: 1}
+_CODE_KINDS = {0: RequestKind.READ_IN, 1: RequestKind.WRITE_BACK}
+
+
+@dataclass
+class MissStream:
+    """A captured L1 request stream, replayable into any L2.
+
+    Events are ``(kind_code, address)`` tuples, with
+    :data:`FLUSH_MARKER` standing for a flush boundary. Also records
+    how many processor references produced the stream, so global miss
+    ratios can be computed after replay.
+    """
+
+    events: List[Tuple[int, int]] = field(default_factory=list)
+    processor_references: int = 0
+
+    def append(self, request: MemoryRequest) -> None:
+        """Record one L1 request."""
+        self.events.append((_KIND_CODES[request.kind], request.address))
+
+    def append_flush(self) -> None:
+        """Record a cold-start boundary."""
+        self.events.append(FLUSH_MARKER)
+
+    @property
+    def readins(self) -> int:
+        """Number of read-in events."""
+        return sum(1 for code, _ in self.events if code == 0)
+
+    @property
+    def writebacks(self) -> int:
+        """Number of write-back events."""
+        return sum(1 for code, _ in self.events if code == 1)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def save(self, path) -> None:
+        """Persist the stream to ``path`` (gzip if it ends in ``.gz``).
+
+        Capturing an L1 miss stream is the expensive step of large
+        studies; saving it lets many later sessions replay it into new
+        L2 configurations without rerunning the L1.
+        """
+        import gzip
+        import struct
+        from pathlib import Path
+
+        path = Path(path)
+        opener = gzip.open if path.suffix == ".gz" else open
+        record = struct.Struct("<bQ")
+        with opener(path, "wb") as handle:
+            handle.write(b"RPMS")
+            handle.write(struct.pack("<Q", self.processor_references))
+            handle.write(struct.pack("<Q", len(self.events)))
+            for code, address in self.events:
+                handle.write(record.pack(code, address if code >= 0 else 0))
+
+    @classmethod
+    def load(cls, path) -> "MissStream":
+        """Load a stream previously written by :meth:`save`.
+
+        Raises:
+            TraceFormatError: On a bad header or truncated file.
+        """
+        import gzip
+        import struct
+        from pathlib import Path
+
+        from repro.errors import TraceFormatError
+
+        path = Path(path)
+        opener = gzip.open if path.suffix == ".gz" else open
+        record = struct.Struct("<bQ")
+        with opener(path, "rb") as handle:
+            if handle.read(4) != b"RPMS":
+                raise TraceFormatError(f"{path} is not a saved miss stream")
+            header = handle.read(16)
+            if len(header) != 16:
+                raise TraceFormatError("truncated miss-stream header")
+            processor_references, count = struct.unpack("<QQ", header)
+            stream = cls(processor_references=processor_references)
+            for _ in range(count):
+                chunk = handle.read(record.size)
+                if len(chunk) != record.size:
+                    raise TraceFormatError("truncated miss-stream record")
+                code, address = record.unpack(chunk)
+                if code < 0:
+                    stream.events.append(FLUSH_MARKER)
+                else:
+                    stream.events.append((code, address))
+        return stream
+
+
+@dataclass
+class InclusionStats:
+    """Counters for inclusion enforcement and write-back hints."""
+
+    #: L1 blocks dropped because their enclosing L2 block was evicted.
+    back_invalidations: int = 0
+    #: Back-invalidated L1 blocks that were dirty (their data is
+    #: forwarded straight to memory).
+    dirty_back_invalidations: int = 0
+    #: Write-backs whose retained position indicator was consulted.
+    hints_consulted: int = 0
+    #: ... and pointed at the block's actual L2 frame.
+    hints_correct: int = 0
+    #: ... and were wrong (the block had left the L2 — impossible when
+    #: inclusion is enforced).
+    hints_wrong: int = 0
+
+    @property
+    def hint_accuracy(self) -> float:
+        """Fraction of consulted hints that were correct."""
+        if self.hints_consulted == 0:
+            return 0.0
+        return self.hints_correct / self.hints_consulted
+
+
+class TwoLevelHierarchy:
+    """Direct-mapped L1 over a set-associative L2 (paper Table 3).
+
+    Args:
+        l1, l2: The two cache levels.
+        enforce_inclusion: When True, an L2 eviction back-invalidates
+            every L1 block it covers, maintaining multi-level
+            inclusion [Baer88]. Dirty L1 copies lost this way are
+            counted as forced memory write-backs. The paper does not
+            enforce inclusion but monitors how nearly it holds; both
+            modes are supported.
+        track_writeback_hints: When True, models the write-back
+            optimization's bookkeeping explicitly: on each read-in the
+            L1 retains a ``log2(a)``-bit indicator of the L2 frame the
+            block landed in, and each write-back checks it. With
+            inclusion enforced the hint is always correct; without,
+            the accuracy measures how safe the "hint" variant is.
+            Hints are keyed per L1 *set index*, which is exact for the
+            paper's direct-mapped L1 (one block per line); with a
+            set-associative L1 only the most recent fill per set is
+            tracked.
+    """
+
+    def __init__(
+        self,
+        l1: DirectMappedCache,
+        l2: SetAssociativeCache,
+        enforce_inclusion: bool = False,
+        track_writeback_hints: bool = False,
+    ) -> None:
+        if l2.block_size < l1.block_size:
+            # A smaller L2 block could not hold an L1 write-back.
+            raise ValueError(
+                f"L2 block size {l2.block_size} smaller than L1 block "
+                f"size {l1.block_size}"
+            )
+        self.l1 = l1
+        self.l2 = l2
+        self.stats = HierarchyStats(l1=l1.stats, l2=l2.stats)
+        self.enforce_inclusion = enforce_inclusion
+        self.inclusion = InclusionStats()
+        self._hints = {} if track_writeback_hints else None
+        if enforce_inclusion:
+            l2.eviction_listener = self._on_l2_eviction
+
+    def access(self, ref: Reference) -> None:
+        """Service one processor reference (or flush sentinel)."""
+        if ref.is_flush:
+            self.flush()
+            return
+        self.stats.processor_references += 1
+        requests = self.l1.access(ref)
+        pending_hint = None
+        for request in requests:
+            hit = self.l2.request(request)
+            if self._hints is None:
+                continue
+            line = self.l1.mapper.set_index(request.address)
+            if request.kind is RequestKind.READ_IN:
+                # Record after the whole batch: the victim write-back
+                # (issued second) must still see its own hint.
+                frame = self.l2.locate(request.address)
+                pending_hint = (line, request.address, frame)
+            else:
+                self._consult_hint(line, request.address, hit)
+        if pending_hint is not None:
+            line, address, frame = pending_hint
+            self._hints[line] = (address, frame)
+
+    def _consult_hint(self, line: int, address: int, l2_hit: bool) -> None:
+        entry = self._hints.pop(line, None)
+        if entry is None or entry[0] != address:
+            return
+        self.inclusion.hints_consulted += 1
+        if l2_hit and self.l2.locate(address) == entry[1]:
+            self.inclusion.hints_correct += 1
+        else:
+            self.inclusion.hints_wrong += 1
+
+    def _on_l2_eviction(self, address: int, was_dirty: bool) -> None:
+        """Back-invalidate every L1 block inside the evicted L2 block."""
+        for offset in range(0, self.l2.block_size, self.l1.block_size):
+            sub_address = address + offset
+            dropped = self.l1.invalidate(sub_address)
+            if dropped is None:
+                continue
+            self.inclusion.back_invalidations += 1
+            if dropped:
+                self.inclusion.dirty_back_invalidations += 1
+            if self._hints is not None:
+                line = self.l1.mapper.set_index(sub_address)
+                entry = self._hints.get(line)
+                if entry is not None and entry[0] == sub_address:
+                    del self._hints[line]
+
+    def run(self, trace: Iterable[Reference]) -> HierarchyStats:
+        """Service an entire trace and return the hierarchy statistics."""
+        for ref in trace:
+            self.access(ref)
+        return self.stats
+
+    def flush(self) -> None:
+        """Cold-start both levels (no write-back traffic), as between
+        the paper's 23 concatenated traces."""
+        self.l1.invalidate_all()
+        self.l2.invalidate_all()
+        if self._hints is not None:
+            self._hints.clear()
+
+    def inclusion_holds(self) -> bool:
+        """Check multi-level inclusion: every L1 block resident in L2.
+
+        The paper does not enforce inclusion but monitors how nearly it
+        holds; this is the checking primitive (used by tests and the
+        inclusion diagnostics).
+        """
+        for address in self.l1.resident_addresses():
+            if not self.l2.contains(address):
+                return False
+        return True
+
+
+def capture_miss_stream(
+    trace: Iterable[Reference], l1: DirectMappedCache
+) -> MissStream:
+    """Run ``trace`` through ``l1`` alone, recording its request stream."""
+    stream = MissStream()
+    for ref in trace:
+        if ref.is_flush:
+            l1.invalidate_all()
+            stream.append_flush()
+            continue
+        stream.processor_references += 1
+        for request in l1.access(ref):
+            stream.append(request)
+    return stream
+
+
+def replay_miss_stream(stream: MissStream, l2: SetAssociativeCache) -> None:
+    """Feed a captured miss stream into an (instrumented) L2 cache."""
+    for code, address in stream.events:
+        if (code, address) == FLUSH_MARKER:
+            l2.invalidate_all()
+            continue
+        if code == 0:
+            l2.read_in(address)
+        else:
+            l2.write_back(address)

@@ -1,0 +1,212 @@
+"""Multi-node shared-memory system with write-invalidate coherence.
+
+The paper's setting (§1): several processors, each with a private
+two-level cache hierarchy, sharing memory over an interconnect;
+coherency invalidations from other processors' writes keep punching
+holes in each level-two cache (footnote 1). This module builds that
+system out of the library's pieces:
+
+- each node is a :class:`~repro.cache.hierarchy.TwoLevelHierarchy`
+  running its own reference stream (processes do not migrate);
+- writes to the globally shared segment (see
+  :func:`repro.trace.process_model.shared_block_set`) invalidate the
+  block in every *other* node's L1 and L2.
+
+Two protocol fidelities are available. The default is the pessimistic
+write-invalidate scheme: every shared store broadcasts and
+invalidation is instantaneous — erring toward *more* invalidations,
+the regime footnote 1 talks about. ``track_ownership=True`` adds
+MSI-style exclusive-writer tracking: a store by the current owner is
+silent (no other node can hold a copy), and a remote load demotes the
+owner — cutting broadcast traffic the way a real protocol's M state
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.cache.hierarchy import TwoLevelHierarchy
+from repro.errors import ConfigurationError
+from repro.trace.process_model import SHARED_BASE, SHARED_SPAN
+from repro.trace.reference import AccessKind, Reference
+
+
+@dataclass
+class NodeCoherenceStats:
+    """Per-node coherence counters."""
+
+    #: Shared-segment stores this node issued (invalidation broadcasts).
+    broadcasts: int = 0
+    #: Invalidations that found a copy in this node's L2.
+    l2_invalidations: int = 0
+    #: ... and in this node's L1.
+    l1_invalidations: int = 0
+
+
+@dataclass
+class MultiprocessorStats:
+    """System-wide counters."""
+
+    references: int = 0
+    nodes: List[NodeCoherenceStats] = field(default_factory=list)
+
+    @property
+    def total_broadcasts(self) -> int:
+        """All shared-store broadcasts issued."""
+        return sum(node.broadcasts for node in self.nodes)
+
+    @property
+    def total_l2_invalidations(self) -> int:
+        """All L2 copies killed by remote stores."""
+        return sum(node.l2_invalidations for node in self.nodes)
+
+
+class MultiprocessorSystem:
+    """N private two-level hierarchies with write-invalidate sharing.
+
+    Args:
+        nodes: One hierarchy per processor.
+        shared_range: ``(low, high)`` byte range of the shared segment;
+            defaults to the workload generator's pid-0 slice.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[TwoLevelHierarchy],
+        shared_range: Tuple[int, int] = (SHARED_BASE, SHARED_BASE + SHARED_SPAN),
+        track_ownership: bool = False,
+    ) -> None:
+        if not nodes:
+            raise ConfigurationError("need at least one node")
+        low, high = shared_range
+        if low < 0 or high <= low:
+            raise ConfigurationError("bad shared range")
+        self.nodes = list(nodes)
+        self.shared_low = low
+        self.shared_high = high
+        self.stats = MultiprocessorStats(
+            nodes=[NodeCoherenceStats() for _ in self.nodes]
+        )
+        #: MSI-style writer tracking: when on, a store by a block's
+        #: current exclusive owner broadcasts nothing (no other node
+        #: can hold a copy), and a remote load demotes the owner. When
+        #: off, every shared store broadcasts (the pessimistic model).
+        self.track_ownership = track_ownership
+        self._owner = {} if track_ownership else None
+
+    def is_shared(self, address: int) -> bool:
+        """Whether ``address`` lies in the shared segment."""
+        return self.shared_low <= address < self.shared_high
+
+    def access(self, node_index: int, ref: Reference) -> None:
+        """One reference on one node, with coherence side effects."""
+        node = self.nodes[node_index]
+        node.access(ref)
+        if ref.is_flush:
+            return
+        self.stats.references += 1
+        if not self.is_shared(ref.address):
+            return
+        l2 = node.l2
+        block = ref.address >> l2.mapper.block_bits
+        if ref.kind is AccessKind.STORE:
+            if self._owner is not None and self._owner.get(block) == node_index:
+                return  # exclusive owner: silent upgrade, nothing to kill
+            self._broadcast_invalidate(node_index, ref.address)
+            if self._owner is not None:
+                self._owner[block] = node_index
+        elif self._owner is not None:
+            # A remote load demotes any exclusive owner to shared.
+            if self._owner.get(block, node_index) != node_index:
+                self._owner.pop(block, None)
+
+    def _broadcast_invalidate(self, writer: int, address: int) -> None:
+        self.stats.nodes[writer].broadcasts += 1
+        # Invalidate the enclosing L2 block everywhere else, and any L1
+        # sub-blocks it covers.
+        for index, node in enumerate(self.nodes):
+            if index == writer:
+                continue
+            l2 = node.l2
+            block_start = (
+                address >> l2.mapper.block_bits
+            ) << l2.mapper.block_bits
+            if l2.invalidate(block_start):
+                self.stats.nodes[index].l2_invalidations += 1
+            for offset in range(0, l2.block_size, node.l1.block_size):
+                if node.l1.invalidate(block_start + offset) is not None:
+                    self.stats.nodes[index].l1_invalidations += 1
+
+    def run(self, traces: Sequence[Iterable[Reference]], quantum: int = 64) -> None:
+        """Interleave the node traces in round-robin quanta.
+
+        Lockstep interleaving at a small quantum approximates
+        concurrent execution; exhausted traces drop out.
+        """
+        if len(traces) != len(self.nodes):
+            raise ConfigurationError(
+                f"{len(traces)} traces for {len(self.nodes)} nodes"
+            )
+        if quantum <= 0:
+            raise ConfigurationError("quantum must be positive")
+        iterators = [(index, iter(trace)) for index, trace in enumerate(traces)]
+        while iterators:
+            alive = []
+            for index, iterator in iterators:
+                exhausted = False
+                for _ in range(quantum):
+                    try:
+                        ref = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    self.access(index, ref)
+                if not exhausted:
+                    alive.append((index, iterator))
+            iterators = alive
+
+    def l2_utilization(self) -> float:
+        """Mean fraction of valid L2 frames across nodes (footnote 1)."""
+        total = valid = 0
+        for node in self.nodes:
+            for cache_set in node.l2.sets:
+                total += node.l2.associativity
+                valid += len(cache_set.valid_frames())
+        if total == 0:
+            return 0.0
+        return valid / total
+
+
+def node_workloads(count: int, segments: int, references_per_segment: int,
+                   seed: int = 1989, shared_fraction: float = 0.05):
+    """Convenience: one shared-data workload per node, distinct seeds.
+
+    Every node's processes reference the same shared segment (that is
+    the point); private regions never collide because they live in
+    per-process pid slices — nodes reuse pids, which is fine for
+    *coherence* studies since private-address collisions across nodes
+    would only matter if the traces were interleaved into one cache.
+    Here each node has private caches, and only shared addresses
+    interact.
+    """
+    from dataclasses import replace
+
+    from repro.trace.synthetic import AtumWorkload, SegmentParameters
+
+    base = SegmentParameters()
+    params = replace(
+        base,
+        user=replace(base.user, shared_fraction=shared_fraction),
+        os=replace(base.os, shared_fraction=shared_fraction),
+    )
+    return [
+        AtumWorkload(
+            segments=segments,
+            references_per_segment=references_per_segment,
+            seed=seed + 101 * node,
+            params=params,
+        )
+        for node in range(count)
+    ]

@@ -1,0 +1,115 @@
+"""Probe observers: per-scheme instrumentation attached to the L2 cache.
+
+Because every lookup scheme leaves hit/miss behaviour and replacement
+unchanged (the paper's schemes differ only in how the answer is
+*discovered*), one simulated cache can drive many schemes at once. The
+cache shows each observer the pre-update set state for every access;
+the observer computes that scheme's probe count and accumulates it.
+
+Write-back accounting follows the paper:
+
+- with the write-back optimization (the default, used for Table 4 and
+  Figures 4-6) a write-back costs zero probes for every scheme and is
+  counted as a hit in the averages;
+- without it (the "w/o optimization" curves of Figure 3) a write-back
+  is looked up like any other access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.direct_mapped import RequestKind
+from repro.core.mru import MRULookup
+from repro.core.probes import ProbeAccumulator, SetView
+from repro.core.schemes import LookupScheme
+
+
+class ProbeObserver:
+    """Accumulates probe counts for one lookup scheme.
+
+    Args:
+        scheme: The lookup scheme to account for.
+        writeback_optimization: When True (default), write-backs cost
+            zero probes; when False, the scheme performs a full lookup
+            on write-backs too.
+        label: Display name for reports; defaults to the scheme name.
+    """
+
+    def __init__(
+        self,
+        scheme: LookupScheme,
+        writeback_optimization: bool = True,
+        label: Optional[str] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.writeback_optimization = writeback_optimization
+        self.label = label if label is not None else scheme.name
+        self.accumulator = ProbeAccumulator()
+
+    def observe(self, view: SetView, tag: int, kind: RequestKind) -> None:
+        """Account for one L2 access against pre-update set state."""
+        if kind is RequestKind.WRITE_BACK and self.writeback_optimization:
+            self.accumulator.record_writeback(0)
+            return
+        outcome = self.scheme.lookup(view, tag)
+        if kind is RequestKind.WRITE_BACK:
+            self.accumulator.record_writeback(outcome.probes)
+        elif outcome.hit:
+            self.accumulator.record_hit(outcome.probes)
+        else:
+            self.accumulator.record_miss(outcome.probes)
+
+    def __repr__(self) -> str:
+        return f"ProbeObserver(label={self.label!r}, scheme={self.scheme!r})"
+
+
+class MruDistanceObserver:
+    """Histogram of MRU hit distances on read-in hits (Figure 5, right).
+
+    Distance ``i`` (1-based) means the hit was to the ``i``-th
+    most-recently-used entry of the set; ``f_i`` is the histogram
+    normalized over read-in hits.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        self.scheme = MRULookup(associativity)
+        self.associativity = associativity
+        self.counts: Dict[int, int] = {}
+        self.hits = 0
+        self.accesses = 0
+        self.updates = 0
+        self.label = "mru-distance"
+
+    def observe(self, view: SetView, tag: int, kind: RequestKind) -> None:
+        """Record the MRU distance of read-in hits, and — over *all*
+        accesses — whether the MRU ordering information must be
+        rewritten (the ``u`` of Table 2's cycle expressions: an access
+        to anything but the current MRU head changes the list)."""
+        self.accesses += 1
+        head = view.mru_order[0] if view.mru_order else None
+        if head is None or view.tags[head] != tag:
+            self.updates += 1
+        if kind is not RequestKind.READ_IN:
+            return
+        distance = self.scheme.hit_distance(view, tag)
+        if distance is None:
+            return
+        self.hits += 1
+        self.counts[distance] = self.counts.get(distance, 0) + 1
+
+    @property
+    def update_fraction(self) -> float:
+        """``u``: fraction of accesses that rewrite the MRU list."""
+        if self.accesses == 0:
+            return 0.0
+        return self.updates / self.accesses
+
+    def distribution(self) -> List[float]:
+        """``f_i`` for ``i = 1..a``: P(hit at MRU distance i | hit)."""
+        if self.hits == 0:
+            return [0.0] * self.associativity
+        return [
+            self.counts.get(i, 0) / self.hits
+            for i in range(1, self.associativity + 1)
+        ]

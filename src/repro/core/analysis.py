@@ -1,0 +1,194 @@
+"""Closed-form expected-probe models (paper Table 1 and §2.2 theory).
+
+These are the analytic counterparts of the simulated schemes: expected
+probes per lookup for each implementation, the probabilistic lower
+bound used as the "Theory" line of Figure 6, the continuous-optimum
+partial-compare width ``k_opt = log2(t) - 1/2``, and helpers for
+choosing the number of subsets.
+
+All hit formulas condition on the access being a hit (and likewise for
+misses); :func:`expected_total_probes` combines them under a given miss
+ratio, which is answer (1) to the paper's "what number of subsets is
+best" question.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _check_associativity(associativity: int) -> None:
+    if associativity <= 0 or associativity & (associativity - 1):
+        raise ConfigurationError(
+            f"associativity must be a positive power of two, got {associativity}"
+        )
+
+
+def expected_traditional_probes() -> float:
+    """Traditional parallel lookup: one probe, hit or miss."""
+    return 1.0
+
+
+def expected_naive_hit_probes(associativity: int) -> float:
+    """Naive serial scan, hit: ``(a-1)/2 + 1``.
+
+    Each stored tag is equally likely to hold the data, so half the
+    non-matching tags are examined before the match.
+    """
+    _check_associativity(associativity)
+    return (associativity - 1) / 2 + 1
+
+
+def expected_naive_miss_probes(associativity: int) -> float:
+    """Naive serial scan, miss: all ``a`` tags are examined."""
+    _check_associativity(associativity)
+    return float(associativity)
+
+
+def expected_mru_hit_probes(hit_distribution: Sequence[float]) -> float:
+    """MRU scan, hit: ``1 + sum(i * f_i)``.
+
+    Args:
+        hit_distribution: ``f_i`` for ``i = 1..a`` — the probability the
+            ``i``-th most-recently-used tag matches, given a hit. Must
+            sum to 1 (within tolerance).
+    """
+    total = math.fsum(hit_distribution)
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise ConfigurationError(
+            f"hit distribution must sum to 1, got {total:.12f}"
+        )
+    if any(p < 0 for p in hit_distribution):
+        raise ConfigurationError("hit distribution probabilities must be >= 0")
+    return 1.0 + math.fsum(
+        i * p for i, p in enumerate(hit_distribution, start=1)
+    )
+
+
+def expected_mru_miss_probes(associativity: int) -> float:
+    """MRU scan, miss: ``1 + a`` (the MRU list is uselessly consulted)."""
+    _check_associativity(associativity)
+    return 1.0 + associativity
+
+
+def expected_partial_hit_probes(
+    associativity: int, partial_bits: int, subsets: int = 1
+) -> float:
+    """Partial compare, hit, assuming uniform independent partial fields.
+
+    The matching tag is equally likely to be in any subset; each subset
+    examined before it costs one partial probe plus ``(a/s)/2^k``
+    expected false matches; the matching subset costs one partial probe,
+    ``((a/s)-1)/2^(k+1)`` false matches examined before the true tag,
+    and the final full match. With ``s = 1`` this reduces to the
+    paper's ``2 + (a-1)/2^(k+1)``.
+    """
+    _check_associativity(associativity)
+    if subsets <= 0 or associativity % subsets:
+        raise ConfigurationError(
+            f"subsets ({subsets}) must divide associativity ({associativity})"
+        )
+    if partial_bits <= 0:
+        raise ConfigurationError("partial_bits must be positive")
+    per_subset = associativity / subsets
+    false_rate = 1.0 / 2**partial_bits
+    earlier_subsets = (subsets - 1) / 2 * (1 + per_subset * false_rate)
+    matching_subset = 2 + (per_subset - 1) * false_rate / 2
+    return earlier_subsets + matching_subset
+
+
+def expected_partial_miss_probes(
+    associativity: int, partial_bits: int, subsets: int = 1
+) -> float:
+    """Partial compare, miss: ``s + a/2^k`` (all partial matches are false)."""
+    _check_associativity(associativity)
+    if subsets <= 0 or associativity % subsets:
+        raise ConfigurationError(
+            f"subsets ({subsets}) must divide associativity ({associativity})"
+        )
+    if partial_bits <= 0:
+        raise ConfigurationError("partial_bits must be positive")
+    return subsets + associativity / 2**partial_bits
+
+
+def expected_total_probes(
+    hit_probes: float, miss_probes: float, miss_ratio: float
+) -> float:
+    """Combine conditional hit/miss probes under a local miss ratio."""
+    if not 0.0 <= miss_ratio <= 1.0:
+        raise ConfigurationError(f"miss ratio must be in [0, 1], got {miss_ratio}")
+    return (1 - miss_ratio) * hit_probes + miss_ratio * miss_probes
+
+
+def optimal_partial_width(tag_bits: int) -> float:
+    """Continuous-optimum partial width for hits: ``k_opt = log2(t) - 1/2``.
+
+    The paper's answer (2): ignore misses, treat ``k`` as continuous,
+    and minimize the expected hit probes. Round to ``floor`` or ``ceil``
+    and convert to a subset count in practice.
+    """
+    if tag_bits <= 0:
+        raise ConfigurationError("tag_bits must be positive")
+    return math.log2(tag_bits) - 0.5
+
+
+def default_subsets(associativity: int, tag_bits: int, min_partial_bits: int = 4) -> int:
+    """Smallest subset count giving at least ``min_partial_bits``-wide compares.
+
+    The paper's answer (3): with 16-32 bit tags, pick the number of
+    subsets that yields at least four-bit partial compares. For
+    ``t = 16`` this returns 1, 2, 4 for ``a`` = 4, 8, 16 — the values
+    used throughout the paper's simulations.
+    """
+    _check_associativity(associativity)
+    if tag_bits <= 0:
+        raise ConfigurationError("tag_bits must be positive")
+    subsets = 1
+    while subsets < associativity:
+        if tag_bits * subsets // associativity >= min_partial_bits:
+            return subsets
+        subsets *= 2
+    return subsets
+
+
+def optimal_subsets(
+    associativity: int, tag_bits: int, miss_ratio: float
+) -> int:
+    """Exhaustive-optimum subset count under a given miss ratio.
+
+    The paper's answer (1): evaluate the expected total probes for each
+    ``s`` in ``1, 2, 4, ..., a`` (with ``k = ⌊t·s/a⌋``) and return the
+    minimizer. Ties go to fewer subsets.
+    """
+    _check_associativity(associativity)
+    best_subsets, best_cost = 1, float("inf")
+    subsets = 1
+    while subsets <= associativity:
+        partial_bits = tag_bits * subsets // associativity
+        if partial_bits >= 1:
+            hit = expected_partial_hit_probes(associativity, partial_bits, subsets)
+            miss = expected_partial_miss_probes(associativity, partial_bits, subsets)
+            cost = expected_total_probes(hit, miss, miss_ratio)
+            if cost < best_cost - 1e-12:
+                best_subsets, best_cost = subsets, cost
+        subsets *= 2
+    return best_subsets
+
+
+def geometric_hit_distribution(associativity: int, ratio: float) -> list:
+    """A normalized geometric ``f_i`` model, ``f_i ∝ ratio^(i-1)``.
+
+    The paper observes (Figure 5, right) that MRU-distance hit
+    probabilities fall roughly geometrically, which explains the linear
+    growth of MRU probes with associativity. This helper builds such a
+    model distribution for analytic what-if studies.
+    """
+    _check_associativity(associativity)
+    if not 0.0 < ratio <= 1.0:
+        raise ConfigurationError(f"ratio must be in (0, 1], got {ratio}")
+    weights = [ratio ** (i - 1) for i in range(1, associativity + 1)]
+    total = math.fsum(weights)
+    return [w / total for w in weights]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A cache, scheme, or workload was configured with invalid parameters.
+
+    Examples: a non-power-of-two associativity, a partial-compare subset
+    count that does not divide the associativity, or a tag width too
+    narrow for the requested partial-compare width.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A trace file or stream could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state.
+
+    This indicates a bug in the library rather than a user error; it is
+    raised by internal invariant checks.
+    """

@@ -1,0 +1,52 @@
+"""Experiment harness: named configurations, runners, and builders
+that regenerate every table and figure of the paper's evaluation.
+
+Each builder returns plain data (lists of rows / series) plus an ASCII
+rendering, so results can be asserted in tests, printed from examples,
+and timed in benchmarks without duplication.
+"""
+
+from repro.experiments.configs import (
+    CacheGeometry,
+    TABLE4_CONFIGS,
+    default_workload,
+    parse_geometry,
+)
+from repro.experiments.runner import (
+    ConfigResult,
+    ExperimentRunner,
+    SchemeResult,
+)
+from repro.experiments.sweeps import (
+    associativity_sweep,
+    capacity_sweep,
+    miss_ratio_curve,
+)
+from repro.experiments.tables import build_table1, build_table2, build_table3, build_table4
+from repro.experiments.figures import (
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_figure6,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "ConfigResult",
+    "ExperimentRunner",
+    "SchemeResult",
+    "TABLE4_CONFIGS",
+    "associativity_sweep",
+    "build_figure3",
+    "build_figure4",
+    "build_figure5",
+    "build_figure6",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "capacity_sweep",
+    "default_workload",
+    "miss_ratio_curve",
+    "parse_geometry",
+]

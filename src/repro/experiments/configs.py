@@ -1,0 +1,120 @@
+"""Named cache configurations and the default workload (paper Table 3).
+
+Cache geometries use the paper's "<capacity>K-<block>" labels, e.g.
+``16K-16`` is a 16 Kbyte cache with 16-byte blocks. The eight L1 x L2
+pairs of Table 4 are listed in the paper's row order.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.trace.synthetic import AtumWorkload
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Capacity/block-size pair with the paper's naming convention."""
+
+    capacity_bytes: int
+    block_size: int
+
+    @property
+    def label(self) -> str:
+        """The paper's "<capacity>K-<block>" name for this geometry."""
+        return f"{self.capacity_bytes // 1024}K-{self.block_size}"
+
+    def __str__(self) -> str:
+        return self.label
+
+
+_LABEL_RE = re.compile(r"^(\d+)K-(\d+)$")
+
+
+def parse_geometry(label: str) -> CacheGeometry:
+    """Parse a "<capacity>K-<block>" label into a :class:`CacheGeometry`."""
+    match = _LABEL_RE.match(label)
+    if not match:
+        raise ConfigurationError(
+            f"bad geometry label {label!r}; expected e.g. '16K-16'"
+        )
+    return CacheGeometry(int(match.group(1)) * 1024, int(match.group(2)))
+
+
+#: Paper L1 configurations (Table 3) with their published miss ratios.
+L1_GEOMETRIES = {
+    "4K-16": 0.1181,
+    "16K-16": 0.0657,
+    "16K-32": 0.0513,
+}
+
+#: Paper L2 configurations (Table 3).
+L2_GEOMETRIES = ("64K-16", "64K-32", "256K-16", "256K-32", "256K-64")
+
+#: The eight L1 x L2 pairs of Table 4, in the paper's row order.
+TABLE4_CONFIGS: List[Tuple[str, str]] = [
+    ("16K-16", "256K-32"),
+    ("16K-16", "256K-16"),
+    ("16K-32", "256K-32"),
+    ("4K-16", "256K-64"),
+    ("4K-16", "256K-32"),
+    ("4K-16", "256K-16"),
+    ("4K-16", "64K-32"),
+    ("4K-16", "64K-16"),
+]
+
+#: Associativities simulated in Table 4.
+TABLE4_ASSOCIATIVITIES = (4, 8, 16)
+
+#: Default tag width used throughout the paper unless stated otherwise.
+DEFAULT_TAG_BITS = 16
+
+#: Scale of the default workload relative to the paper's 8M-reference
+#: trace. Overridable via the REPRO_WORKLOAD_SCALE environment
+#: variable (1.0 = the paper's full 23 x 350k-reference trace).
+DEFAULT_SCALE = 0.125
+
+
+def workload_scale() -> float:
+    """Workload scale factor, from REPRO_WORKLOAD_SCALE if set."""
+    raw = os.environ.get("REPRO_WORKLOAD_SCALE")
+    if raw is None:
+        return DEFAULT_SCALE
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_WORKLOAD_SCALE must be a number, got {raw!r}"
+        ) from None
+    if not 0.0 < scale <= 1.0:
+        raise ConfigurationError(
+            f"REPRO_WORKLOAD_SCALE must be in (0, 1], got {scale}"
+        )
+    return scale
+
+
+def default_workload(scale: float = None, seed: int = 1989) -> AtumWorkload:
+    """The standard experiment workload.
+
+    A scaled version of the paper's trace structure: the full scale
+    (1.0) is 23 segments of 350k references; the default
+    (:data:`DEFAULT_SCALE`, or REPRO_WORKLOAD_SCALE) shrinks it by
+    shortening segments while keeping fewer, longer segments than a
+    naive uniform cut so the 256 KB level-two cache still warms up.
+    """
+    if scale is None:
+        scale = workload_scale()
+    if not 0.0 < scale <= 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+    total = int(23 * 350_000 * scale)
+    # Keep segments at least ~330k references so cold-start weight
+    # stays comparable to the paper's 350k-reference traces.
+    segments = max(1, min(23, total // 330_000))
+    per_segment = total // segments
+    return AtumWorkload(
+        segments=segments, references_per_segment=per_segment, seed=seed
+    )

@@ -1,0 +1,96 @@
+"""ASCII and CSV rendering for tables and figure series.
+
+Every experiment builder returns structured data; these helpers render
+it in a form that visually parallels the paper's tables and the data
+series behind its figures, or as CSV for external plotting tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with per-column auto-width.
+
+    Floats are shown with four significant decimals; everything else
+    via ``str``.
+    """
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in cells:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_series(
+    series: Dict[str, Dict[object, float]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Render figure data series as a table: one column per series.
+
+    ``series`` maps series name to {x: y}. The x values are the union
+    of all series' keys, sorted.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    heading = title or y_label
+    return render_table(headers, rows, title=heading)
+
+
+def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as CSV text (RFC 4180 quoting via the csv module)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def series_to_csv(series: Dict[str, Dict[object, float]], x_label: str) -> str:
+    """Render figure series as CSV: one column per series, blank for
+    missing points."""
+    xs = sorted({x for points in series.values() for x in points})
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append("" if value is None else value)
+        rows.append(row)
+    return table_to_csv([x_label] + list(series), rows)

@@ -1,0 +1,207 @@
+"""Simulation runner: one L1 pass per L1 geometry, many instrumented
+L2 replays on top of it.
+
+The runner caches captured miss streams keyed by (workload identity,
+L1 geometry), so the full Table 4 grid (8 configs x 3 associativities
+x all schemes) costs three L1 passes plus cheap L2 replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.hierarchy import MissStream, capture_miss_stream, replay_miss_stream
+from repro.cache.observers import MruDistanceObserver, ProbeObserver
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.analysis import default_subsets
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.core.traditional import TraditionalLookup
+from repro.experiments.configs import (
+    DEFAULT_TAG_BITS,
+    CacheGeometry,
+    default_workload,
+    parse_geometry,
+)
+from repro.trace.synthetic import AtumWorkload
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Probe averages for one scheme, in the paper's Table 4 accounting.
+
+    ``hits`` counts write-backs as zero-probe hits (the write-back
+    optimization); ``misses`` is the average over read-in misses;
+    ``total`` is the average over all accesses. ``readin_hits`` is the
+    average over read-in hits only (used by Figures 4-6).
+    """
+
+    label: str
+    hits: float
+    misses: float
+    total: float
+    readin_hits: float
+
+
+@dataclass
+class ConfigResult:
+    """All measurements for one (L1, L2, associativity) configuration."""
+
+    l1: CacheGeometry
+    l2: CacheGeometry
+    associativity: int
+    global_miss_ratio: float
+    local_miss_ratio: float
+    fraction_writebacks: float
+    l1_miss_ratio: float
+    writeback_miss_ratio: float
+    schemes: Dict[str, SchemeResult] = field(default_factory=dict)
+    mru_distribution: List[float] = field(default_factory=list)
+    #: ``u`` of Table 2: fraction of accesses rewriting the MRU list.
+    mru_update_fraction: float = 0.0
+
+    def best_total(self) -> str:
+        """Label of the non-traditional scheme with the fewest total probes."""
+        candidates = {
+            label: result
+            for label, result in self.schemes.items()
+            if label != "traditional"
+        }
+        return min(candidates, key=lambda label: candidates[label].total)
+
+
+class ExperimentRunner:
+    """Runs instrumented two-level simulations with miss-stream reuse.
+
+    Args:
+        workload: Reference workload; defaults to
+            :func:`~repro.experiments.configs.default_workload`.
+    """
+
+    def __init__(self, workload: Optional[AtumWorkload] = None) -> None:
+        self.workload = workload if workload is not None else default_workload()
+        self._streams: Dict[str, MissStream] = {}
+        self._l1_stats: Dict[str, float] = {}
+        self._results: Dict[tuple, ConfigResult] = {}
+
+    def miss_stream(self, l1: CacheGeometry) -> MissStream:
+        """Captured L1 request stream for ``l1`` (cached per geometry)."""
+        key = l1.label
+        if key not in self._streams:
+            cache = DirectMappedCache(l1.capacity_bytes, l1.block_size)
+            stream = capture_miss_stream(iter(self.workload), cache)
+            self._streams[key] = stream
+            self._l1_stats[key] = cache.stats.readin_miss_ratio
+        return self._streams[key]
+
+    def l1_miss_ratio(self, l1: CacheGeometry) -> float:
+        """Miss ratio of the L1 geometry over the workload."""
+        self.miss_stream(l1)
+        return self._l1_stats[l1.label]
+
+    def run(
+        self,
+        l1: "CacheGeometry | str",
+        l2: "CacheGeometry | str",
+        associativity: int,
+        tag_bits: int = DEFAULT_TAG_BITS,
+        transforms: Sequence[str] = ("xor",),
+        mru_list_lengths: Sequence[int] = (),
+        extra_tag_bits: Sequence[int] = (),
+        writeback_optimization: bool = True,
+    ) -> ConfigResult:
+        """Simulate one L2 configuration with every scheme attached.
+
+        The result's ``schemes`` dict contains:
+
+        - ``traditional``, ``naive``, ``mru``, and ``partial`` (the
+          first transform in ``transforms``, at ``tag_bits``);
+        - ``partial/<transform>`` for each requested transform;
+        - ``partial/<transform>/t<bits>`` for each width in
+          ``extra_tag_bits``;
+        - ``mru/m<length>`` for each reduced MRU list length.
+        """
+        if isinstance(l1, str):
+            l1 = parse_geometry(l1)
+        if isinstance(l2, str):
+            l2 = parse_geometry(l2)
+        cache_key = (
+            l1.label, l2.label, associativity, tag_bits,
+            tuple(transforms), tuple(mru_list_lengths),
+            tuple(extra_tag_bits), writeback_optimization,
+        )
+        cached = self._results.get(cache_key)
+        if cached is not None:
+            return cached
+        stream = self.miss_stream(l1)
+
+        cache = SetAssociativeCache(
+            l2.capacity_bytes, l2.block_size, associativity
+        )
+        observers: Dict[str, ProbeObserver] = {}
+
+        def attach(label: str, scheme) -> None:
+            observer = ProbeObserver(
+                scheme,
+                writeback_optimization=writeback_optimization,
+                label=label,
+            )
+            observers[label] = observer
+            cache.attach(observer)
+
+        attach("traditional", TraditionalLookup(associativity))
+        attach("naive", NaiveLookup(associativity))
+        attach("mru", MRULookup(associativity))
+        for length in mru_list_lengths:
+            attach(f"mru/m{length}", MRULookup(associativity, list_length=length))
+
+        widths = [tag_bits] + [b for b in extra_tag_bits if b != tag_bits]
+        for width in widths:
+            subsets = default_subsets(associativity, width)
+            for transform in transforms:
+                scheme = PartialCompareLookup(
+                    associativity,
+                    tag_bits=width,
+                    subsets=subsets,
+                    transform=transform,
+                )
+                if width == tag_bits and transform == transforms[0]:
+                    attach("partial", scheme)
+                attach(f"partial/{transform}/t{width}", scheme)
+
+        distance = MruDistanceObserver(associativity)
+        cache.attach(distance)
+
+        replay_miss_stream(stream, cache)
+
+        processor_refs = max(1, stream.processor_references)
+        result = ConfigResult(
+            l1=l1,
+            l2=l2,
+            associativity=associativity,
+            global_miss_ratio=cache.stats.readin_misses / processor_refs,
+            local_miss_ratio=cache.stats.local_miss_ratio,
+            fraction_writebacks=cache.stats.fraction_writebacks,
+            l1_miss_ratio=self.l1_miss_ratio(l1),
+            writeback_miss_ratio=(
+                cache.stats.writeback_misses / cache.stats.writebacks
+                if cache.stats.writebacks
+                else 0.0
+            ),
+            mru_distribution=distance.distribution(),
+            mru_update_fraction=distance.update_fraction,
+        )
+        for label, observer in observers.items():
+            acc = observer.accumulator
+            result.schemes[label] = SchemeResult(
+                label=label,
+                hits=acc.hits_including_writebacks,
+                misses=acc.probes_per_miss,
+                total=acc.probes_per_access,
+                readin_hits=acc.probes_per_hit,
+            )
+        self._results[cache_key] = result
+        return result

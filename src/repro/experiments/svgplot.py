@@ -1,0 +1,201 @@
+"""Minimal SVG line charts for figure series (no dependencies).
+
+Renders a :class:`~repro.experiments.figures.FigureSeries` — or any
+``{name: {x: y}}`` mapping — as a self-contained SVG line chart with
+axes, ticks, markers, and a legend. Used by the benchmark harness to
+drop ``results/*.svg`` next to the ASCII tables, so the paper's
+figures exist as actual figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Line colors (colorblind-safe palette), cycled by series order.
+PALETTE = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#56B4E9", "#E69F00", "#000000", "#999999",
+)
+
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiplier in (1, 2, 2.5, 5, 10):
+        step = multiplier * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    value = start
+    while value <= high + step * 0.5:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _marker(shape: str, x: float, y: float, color: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>'
+    if shape == "square":
+        return (
+            f'<rect x="{x - 3:.1f}" y="{y - 3:.1f}" width="6" height="6" '
+            f'fill="{color}"/>'
+        )
+    if shape == "diamond":
+        points = f"{x},{y - 4} {x + 4},{y} {x},{y + 4} {x - 4},{y}"
+        return f'<polygon points="{points}" fill="{color}"/>'
+    points = f"{x},{y - 4} {x + 4},{y + 3} {x - 4},{y + 3}"
+    return f'<polygon points="{points}" fill="{color}"/>'
+
+
+def render_svg(
+    series: Dict[str, Dict[object, float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 640,
+    height: int = 420,
+    y_from_zero: bool = True,
+) -> str:
+    """Render data series as a standalone SVG document.
+
+    ``series`` maps series name to ``{x: y}`` with numeric x values.
+    Series are drawn in insertion order with cycled colors/markers.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ConfigurationError("nothing to plot")
+
+    xs = sorted({float(x) for points in series.values() for x in points})
+    ys = [float(y) for points in series.values() for y in points.values()]
+    x_low, x_high = min(xs), max(xs)
+    y_low = 0.0 if y_from_zero else min(ys)
+    y_high = max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    margin_left, margin_right = 64, 180
+    margin_top, margin_bottom = 48, 56
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def sx(x: float) -> float:
+        return margin_left + (x - x_low) / (x_high - x_low) * plot_w
+
+    def sy(y: float) -> float:
+        return margin_top + (1 - (y - y_low) / (y_high - y_low)) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+        )
+
+    # Axes and grid.
+    y_ticks = _nice_ticks(y_low, y_high)
+    for tick in y_ticks:
+        if not y_low <= tick <= y_high * 1.001:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    for x in xs:
+        parts.append(
+            f'<text x="{sx(x):.1f}" y="{margin_top + plot_h + 18}" '
+            f'text-anchor="middle">{x:g}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_left + plot_w / 2:.0f}" '
+            f'y="{height - 12}" text-anchor="middle">{_escape(x_label)}</text>'
+        )
+    if y_label:
+        x = 18
+        y = margin_top + plot_h / 2
+        parts.append(
+            f'<text x="{x}" y="{y:.0f}" text-anchor="middle" '
+            f'transform="rotate(-90 {x} {y:.0f})">{_escape(y_label)}</text>'
+        )
+
+    # Series lines, markers, legend.
+    for index, (name, points) in enumerate(series.items()):
+        if not points:
+            continue
+        color = PALETTE[index % len(PALETTE)]
+        marker = _MARKERS[index % len(_MARKERS)]
+        coords: List[Tuple[float, float]] = sorted(
+            (float(x), float(y)) for x, y in points.items()
+        )
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in coords)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in coords:
+            parts.append(_marker(marker, sx(x), sy(y), color))
+        legend_y = margin_top + 10 + index * 18
+        legend_x = margin_left + plot_w + 14
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 18}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(_marker(marker, legend_x + 9, legend_y, color))
+        parts.append(
+            f'<text x="{legend_x + 24}" y="{legend_y + 4}">'
+            f"{_escape(str(name))}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def save_svg(
+    series: Dict[str, Dict[object, float]],
+    path,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    **kwargs,
+) -> None:
+    """Render and write an SVG chart to ``path``."""
+    from pathlib import Path
+
+    document = render_svg(
+        series, title=title, x_label=x_label, y_label=y_label, **kwargs
+    )
+    Path(path).write_text(document + "\n")

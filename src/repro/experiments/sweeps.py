@@ -1,0 +1,117 @@
+"""Generic parameter sweeps for design-space exploration.
+
+The figure builders regenerate exactly the paper's plots; these sweeps
+are the general tools behind them, exposed for downstream studies:
+
+- :func:`associativity_sweep` — any probe metric vs associativity for
+  any scheme set;
+- :func:`capacity_sweep` — metrics across L2 geometries at a fixed
+  associativity;
+- :func:`miss_ratio_curve` — miss ratio for *every* associativity of a
+  geometry family from a single Mattson stack pass (no per-point
+  simulation at all).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.cache.stack import StackSimulator
+from repro.errors import ConfigurationError
+from repro.experiments.configs import parse_geometry
+from repro.experiments.figures import FigureSeries
+from repro.experiments.runner import ExperimentRunner
+
+#: Metrics selectable from a :class:`SchemeResult`.
+METRICS = ("total", "hits", "misses", "readin_hits")
+
+
+def _metric(result, scheme: str, metric: str) -> float:
+    if metric not in METRICS:
+        raise ConfigurationError(
+            f"unknown metric {metric!r}; choose from {METRICS}"
+        )
+    return getattr(result.schemes[scheme], metric)
+
+
+def associativity_sweep(
+    runner: ExperimentRunner,
+    l1: str,
+    l2: str,
+    associativities: Sequence[int],
+    schemes: Sequence[str] = ("traditional", "naive", "mru", "partial"),
+    metric: str = "total",
+    **run_kwargs,
+) -> FigureSeries:
+    """Probe metric vs associativity for the chosen schemes.
+
+    Extra keyword arguments go to :meth:`ExperimentRunner.run`
+    (``tag_bits``, ``transforms``, ``writeback_optimization``...).
+    """
+    figure = FigureSeries(
+        title=f"Sweep: {metric} vs associativity ({l1} / {l2})",
+        x_label="associativity",
+        y_label=f"probes ({metric})",
+    )
+    for a in associativities:
+        result = runner.run(l1, l2, a, **run_kwargs)
+        for scheme in schemes:
+            figure.series.setdefault(scheme, {})[a] = _metric(
+                result, scheme, metric
+            )
+    return figure
+
+
+def capacity_sweep(
+    runner: ExperimentRunner,
+    l1: str,
+    l2_labels: Sequence[str],
+    associativity: int,
+    schemes: Sequence[str] = ("naive", "mru", "partial"),
+    metric: str = "total",
+    **run_kwargs,
+) -> FigureSeries:
+    """Probe metric and local miss ratio across L2 geometries.
+
+    The x axis is the L2 capacity in KB; the ``local miss`` series is
+    scheme-independent context.
+    """
+    figure = FigureSeries(
+        title=f"Sweep: {metric} vs L2 geometry ({l1}, {associativity}-way)",
+        x_label="L2 capacity (KB)",
+        y_label=f"probes ({metric}) / miss ratio",
+    )
+    for label in l2_labels:
+        geometry = parse_geometry(label)
+        x = geometry.capacity_bytes // 1024
+        result = runner.run(l1, label, associativity, **run_kwargs)
+        figure.series.setdefault("local miss", {})[x] = (
+            result.local_miss_ratio
+        )
+        for scheme in schemes:
+            figure.series.setdefault(scheme, {})[x] = _metric(
+                result, scheme, metric
+            )
+    return figure
+
+
+def miss_ratio_curve(
+    runner: ExperimentRunner,
+    l1: str,
+    block_size: int,
+    num_sets: int,
+    associativities: Sequence[int],
+    max_depth: Optional[int] = None,
+) -> Dict[int, float]:
+    """Local miss ratio for every associativity of one geometry family.
+
+    Uses a single Mattson stack pass over the L1 miss stream: no
+    per-associativity simulation. ``capacity = a * num_sets *
+    block_size`` for each point.
+    """
+    if not associativities:
+        raise ConfigurationError("need at least one associativity")
+    depth = max_depth if max_depth is not None else max(associativities)
+    stream = runner.miss_stream(parse_geometry(l1))
+    stack = StackSimulator(block_size, num_sets, max_depth=depth).run(stream)
+    return stack.miss_ratio_curve(associativities)

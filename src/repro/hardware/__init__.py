@@ -1,0 +1,46 @@
+"""Board-level tag-memory cost/timing model (paper Table 2).
+
+Models the tag memory and comparison logic of a cache holding one
+million 24-bit tags, implemented with dynamic or static RAM chips in
+hybrid packages, for four designs: direct-mapped, and 4-way
+set-associative under the traditional, MRU, and partial-compare
+implementations.
+"""
+
+from repro.hardware.chips import ChipSpec, DRAM_CHIPS, SRAM_CHIPS
+from repro.hardware.costmodel import (
+    ImplementationCost,
+    TimingExpression,
+    build_design,
+    table2_designs,
+)
+from repro.hardware.effective import (
+    EffectivePoint,
+    crossover_miss_penalty_ns,
+    effective_access_ns,
+    tag_path_ns,
+)
+from repro.hardware.interconnect import (
+    BusScenario,
+    contention_gain,
+    offered_utilization,
+    queued_penalty_ns,
+)
+
+__all__ = [
+    "BusScenario",
+    "ChipSpec",
+    "DRAM_CHIPS",
+    "EffectivePoint",
+    "ImplementationCost",
+    "SRAM_CHIPS",
+    "TimingExpression",
+    "build_design",
+    "contention_gain",
+    "crossover_miss_penalty_ns",
+    "effective_access_ns",
+    "offered_utilization",
+    "queued_penalty_ns",
+    "table2_designs",
+    "tag_path_ns",
+]

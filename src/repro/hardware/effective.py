@@ -1,0 +1,105 @@
+"""Effective access time and the associativity crossover (paper §1,
+Figure 3 caption).
+
+The paper's argument for the low-cost serial implementations runs:
+they are 2x+ slower per lookup than the traditional implementation,
+but "lower effective access times may nevertheless result,
+particularly as miss latencies are increased, since higher
+associativity results in lower miss ratios". This module makes the
+argument computable:
+
+    effective(design) = tag_path_ns(design, probes)
+                        + local_miss_ratio * miss_penalty_ns
+
+and finds the *crossover miss penalty* beyond which a serial
+set-associative level-two cache beats a direct-mapped one of the same
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.costmodel import build_design
+
+
+def tag_path_ns(design: str, ram_family: str, average_probes: float) -> float:
+    """Average tag-path access time at a measured probe count.
+
+    For the fixed-time designs (direct, traditional) the probe count is
+    ignored; for the serial designs every probe after the first memory
+    access rides the per-probe (page-mode) term.
+    """
+    if average_probes < 0:
+        raise ConfigurationError("average_probes must be non-negative")
+    cost = build_design(design, ram_family)
+    if design in ("direct", "traditional"):
+        return cost.access_time.evaluate()
+    return cost.access_time.evaluate(max(0.0, average_probes - 1.0))
+
+
+@dataclass(frozen=True)
+class EffectivePoint:
+    """Effective access time of one design at one miss penalty."""
+
+    design: str
+    ram_family: str
+    average_probes: float
+    local_miss_ratio: float
+    miss_penalty_ns: float
+
+    @property
+    def tag_path(self) -> float:
+        """Tag-path nanoseconds at the measured probe count."""
+        return tag_path_ns(self.design, self.ram_family, self.average_probes)
+
+    @property
+    def effective_ns(self) -> float:
+        """Tag path plus expected miss-service time."""
+        return self.tag_path + self.local_miss_ratio * self.miss_penalty_ns
+
+
+def effective_access_ns(
+    design: str,
+    ram_family: str,
+    average_probes: float,
+    local_miss_ratio: float,
+    miss_penalty_ns: float,
+) -> float:
+    """Effective access time: tag path plus expected miss service."""
+    if not 0.0 <= local_miss_ratio <= 1.0:
+        raise ConfigurationError("local_miss_ratio must be in [0, 1]")
+    if miss_penalty_ns < 0:
+        raise ConfigurationError("miss_penalty_ns must be non-negative")
+    return EffectivePoint(
+        design, ram_family, average_probes, local_miss_ratio, miss_penalty_ns
+    ).effective_ns
+
+
+def crossover_miss_penalty_ns(
+    serial_design: str,
+    ram_family: str,
+    serial_probes: float,
+    serial_miss_ratio: float,
+    direct_miss_ratio: float,
+) -> float:
+    """Miss penalty at which the serial design beats direct-mapped.
+
+    Solves ``tag_serial + m_a * P = tag_direct + m_1 * P`` for ``P``.
+    Returns ``inf`` when the serial design never catches up (its miss
+    ratio is not lower), and ``0`` when it is already faster at zero
+    penalty.
+    """
+    for ratio in (serial_miss_ratio, direct_miss_ratio):
+        if not 0.0 <= ratio <= 1.0:
+            raise ConfigurationError("miss ratios must be in [0, 1]")
+    serial_tag = tag_path_ns(serial_design, ram_family, serial_probes)
+    direct_tag = tag_path_ns("direct", ram_family, 1.0)
+    tag_gap = serial_tag - direct_tag
+    ratio_gain = direct_miss_ratio - serial_miss_ratio
+    if tag_gap <= 0:
+        return 0.0
+    if ratio_gain <= 0:
+        return float("inf")
+    return tag_gap / ratio_gain

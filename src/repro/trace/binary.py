@@ -1,0 +1,99 @@
+"""Compact binary trace format.
+
+Large synthetic traces round-trip much faster (and ~3x smaller) than
+the text ``din`` format through a fixed-width binary record: a magic
+header, then one ``<BQ`` record (kind byte + 64-bit little-endian byte
+address) per reference. Flush markers use their own kind byte. Files
+ending in ``.gz`` are transparently compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.reference import FLUSH, AccessKind, Reference
+
+#: File magic: "RPT1" (repro trace, version 1).
+MAGIC = b"RPT1"
+
+_RECORD = struct.Struct("<BQ")
+
+_KIND_TO_CODE = {
+    AccessKind.LOAD: 0,
+    AccessKind.STORE: 1,
+    AccessKind.INSTRUCTION: 2,
+    AccessKind.FLUSH: 4,
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+PathOrFile = Union[str, Path, BinaryIO]
+
+
+def _open_binary(path: PathOrFile, mode: str):
+    if isinstance(path, (str, Path)):
+        path = Path(path)
+        if path.suffix == ".gz":
+            return gzip.open(path, mode + "b"), True
+        return open(path, mode + "b"), True
+    return path, False
+
+
+def write_binary(trace: Iterable[Reference], path: PathOrFile) -> int:
+    """Write ``trace`` to ``path`` in the binary format.
+
+    Returns the number of records written (including flush markers).
+    """
+    handle, close = _open_binary(path, "w")
+    written = 0
+    try:
+        handle.write(MAGIC)
+        for ref in trace:
+            if ref.address >> 64:
+                raise TraceFormatError(
+                    f"address {ref.address:#x} exceeds the 64-bit record "
+                    "format"
+                )
+            handle.write(_RECORD.pack(_KIND_TO_CODE[ref.kind], ref.address))
+            written += 1
+    finally:
+        if close:
+            handle.close()
+    return written
+
+
+def read_binary(path: PathOrFile) -> Iterator[Reference]:
+    """Lazily parse a binary trace from ``path``.
+
+    Raises:
+        TraceFormatError: On a bad magic header or a truncated record.
+    """
+    handle, close = _open_binary(path, "r")
+    try:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceFormatError(
+                f"bad magic {magic!r}; not a repro binary trace"
+            )
+        while True:
+            chunk = handle.read(_RECORD.size)
+            if not chunk:
+                return
+            if len(chunk) != _RECORD.size:
+                raise TraceFormatError(
+                    f"truncated record: {len(chunk)} of {_RECORD.size} bytes"
+                )
+            code, address = _RECORD.unpack(chunk)
+            kind = _CODE_TO_KIND.get(code)
+            if kind is None:
+                raise TraceFormatError(f"unknown record kind {code}")
+            if kind is AccessKind.FLUSH:
+                yield FLUSH
+            else:
+                yield Reference(kind, address)
+    finally:
+        if close:
+            handle.close()

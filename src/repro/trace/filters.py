@@ -1,0 +1,135 @@
+"""Trace filtering and composition utilities.
+
+Small combinators over reference streams: prefix/suffix selection,
+address and kind filters, block alignment, and round-robin
+interleaving (compose a multiprogrammed trace from single-process
+traces, the way ATUM-style studies often post-processed captures).
+
+All functions are lazy generators; they can be freely chained and fed
+directly to the simulators or the trace writers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.trace.reference import FLUSH, AccessKind, Reference
+
+
+def take(trace: Iterable[Reference], count: int) -> Iterator[Reference]:
+    """First ``count`` references (flush sentinels do not count)."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    taken = 0
+    for ref in trace:
+        if taken >= count:
+            return
+        yield ref
+        if not ref.is_flush:
+            taken += 1
+
+
+def skip(trace: Iterable[Reference], count: int) -> Iterator[Reference]:
+    """Drop the first ``count`` references (flushes pass through)."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    skipped = 0
+    for ref in trace:
+        if ref.is_flush or skipped >= count:
+            yield ref
+        else:
+            skipped += 1
+
+
+def filter_kinds(
+    trace: Iterable[Reference], kinds: Sequence[AccessKind]
+) -> Iterator[Reference]:
+    """Keep only references of the given kinds (flushes always pass).
+
+    ``filter_kinds(trace, [AccessKind.INSTRUCTION])`` extracts the
+    instruction stream for an instruction-cache study.
+    """
+    wanted = set(kinds)
+    for ref in trace:
+        if ref.is_flush or ref.kind in wanted:
+            yield ref
+
+
+def filter_address_range(
+    trace: Iterable[Reference], low: int, high: int
+) -> Iterator[Reference]:
+    """Keep references with ``low <= address < high`` (flushes pass)."""
+    if low < 0 or high < low:
+        raise ConfigurationError("need 0 <= low <= high")
+    for ref in trace:
+        if ref.is_flush or low <= ref.address < high:
+            yield ref
+
+
+def align_to_blocks(
+    trace: Iterable[Reference], block_size: int
+) -> Iterator[Reference]:
+    """Round every address down to its enclosing block's first byte.
+
+    Useful before writing traces consumed by block-granular tools.
+    """
+    if block_size <= 0 or block_size & (block_size - 1):
+        raise ConfigurationError("block_size must be a positive power of two")
+    mask = ~(block_size - 1)
+    for ref in trace:
+        if ref.is_flush:
+            yield ref
+        else:
+            yield Reference(ref.kind, ref.address & mask)
+
+
+def interleave(
+    traces: Sequence[Iterable[Reference]], quantum: int
+) -> Iterator[Reference]:
+    """Round-robin ``quantum`` references from each trace in turn.
+
+    Builds a multiprogrammed stream out of per-process traces.
+    Exhausted traces drop out; iteration ends when all are exhausted.
+    Flush sentinels in the inputs are NOT forwarded (a per-process
+    flush makes no sense in a shared cache); insert flushes in the
+    composed stream yourself if needed.
+    """
+    if quantum <= 0:
+        raise ConfigurationError("quantum must be positive")
+    iterators: List[Iterator[Reference]] = [iter(t) for t in traces]
+    while iterators:
+        still_alive = []
+        for iterator in iterators:
+            produced = 0
+            alive = True
+            while produced < quantum:
+                try:
+                    ref = next(iterator)
+                except StopIteration:
+                    alive = False
+                    break
+                if ref.is_flush:
+                    continue
+                yield ref
+                produced += 1
+            if alive:
+                still_alive.append(iterator)
+        iterators = still_alive
+
+
+def insert_flushes(
+    trace: Iterable[Reference], every: int
+) -> Iterator[Reference]:
+    """Insert a FLUSH sentinel after every ``every`` references."""
+    if every <= 0:
+        raise ConfigurationError("every must be positive")
+    count = 0
+    for ref in trace:
+        if ref.is_flush:
+            yield ref
+            continue
+        if count and count % every == 0:
+            yield FLUSH
+        yield ref
+        count += 1

@@ -1,0 +1,129 @@
+"""Simple reference-stream generators.
+
+These are building blocks for tests and examples; the full ATUM-like
+multiprogrammed workload lives in :mod:`repro.trace.synthetic`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.trace.reference import AccessKind, Reference
+
+
+def sequential_trace(
+    start: int,
+    count: int,
+    stride: int = 4,
+    kind: AccessKind = AccessKind.LOAD,
+) -> Iterator[Reference]:
+    """``count`` references marching from ``start`` by ``stride`` bytes."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    address = start
+    for _ in range(count):
+        yield Reference(kind, address)
+        address += stride
+
+
+def loop_trace(
+    addresses: Sequence[int],
+    iterations: int,
+    kind: AccessKind = AccessKind.LOAD,
+) -> Iterator[Reference]:
+    """Cycle over a fixed working set ``iterations`` times."""
+    if iterations < 0:
+        raise ConfigurationError("iterations must be non-negative")
+    for _ in range(iterations):
+        for address in addresses:
+            yield Reference(kind, address)
+
+
+def random_trace(
+    count: int,
+    address_range: int,
+    seed: int = 0,
+    alignment: int = 4,
+    kind: AccessKind = AccessKind.LOAD,
+) -> Iterator[Reference]:
+    """Uniformly random aligned references: the no-locality stress case."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if address_range <= 0:
+        raise ConfigurationError("address_range must be positive")
+    rng = random.Random(seed)
+    slots = address_range // alignment
+    for _ in range(count):
+        yield Reference(kind, rng.randrange(slots) * alignment)
+
+
+class ZipfStackSampler:
+    """Samples LRU stack distances with P(d) proportional to 1/d**theta.
+
+    This is the standard way to synthesize a reference stream with a
+    target amount of temporal locality: small distances (recently used
+    blocks) dominate, and the tail thickness is set by ``theta``.
+    """
+
+    def __init__(self, max_distance: int, theta: float, rng: random.Random) -> None:
+        if max_distance <= 0:
+            raise ConfigurationError("max_distance must be positive")
+        if theta <= 0:
+            raise ConfigurationError("theta must be positive")
+        self.max_distance = max_distance
+        self.theta = theta
+        self._rng = rng
+        cumulative: List[float] = []
+        total = 0.0
+        for d in range(1, max_distance + 1):
+            total += 1.0 / d**theta
+            cumulative.append(total)
+        self._cumulative = [c / total for c in cumulative]
+
+    def sample(self) -> int:
+        """One stack distance in ``[1, max_distance]``."""
+        import bisect
+
+        u = self._rng.random()
+        return bisect.bisect_left(self._cumulative, u) + 1
+
+
+def stack_distance_trace(
+    count: int,
+    block_size: int = 16,
+    max_distance: int = 2048,
+    theta: float = 1.6,
+    new_block_probability: float = 0.02,
+    seed: int = 0,
+    base: int = 0,
+    kind: AccessKind = AccessKind.LOAD,
+) -> Iterator[Reference]:
+    """A single-process stream with Zipf temporal locality.
+
+    Blocks are re-referenced by LRU stack distance; new blocks are
+    allocated sequentially (giving spatial locality for caches with
+    larger blocks than ``block_size``).
+    """
+    rng = random.Random(seed)
+    sampler = ZipfStackSampler(max_distance, theta, rng)
+    stack: List[int] = []
+    next_block = base // block_size
+
+    for _ in range(count):
+        fresh = not stack or rng.random() < new_block_probability
+        if not fresh:
+            distance = sampler.sample()
+            if distance > len(stack):
+                fresh = True
+        if fresh:
+            block = next_block
+            next_block += 1
+        else:
+            block = stack.pop(distance - 1)
+        stack.insert(0, block)
+        if len(stack) > max_distance:
+            stack.pop()
+        offset = rng.randrange(block_size // 4) * 4
+        yield Reference(kind, block * block_size + offset)

@@ -1,0 +1,393 @@
+"""Per-process reference model for the synthetic ATUM-like workload.
+
+Each process owns a private virtual address space (its process id in
+the high address bits, like distinct VAX process spaces) with a code
+region and a data region, and produces a mix of:
+
+- *instruction fetches*: a program counter that advances sequentially,
+  takes short backward branches (loops), and occasionally calls into
+  another routine — giving both strong spatial locality and a code
+  working set;
+- *loads/stores*: data blocks re-referenced by Zipf-distributed LRU
+  stack distance, with new blocks allocated sequentially within the
+  data region — giving tunable temporal locality plus the spatial
+  locality that makes larger cache blocks pay off.
+
+The parameters are calibrated (see
+``tests/integration/test_calibration.py`` and EXPERIMENTS.md) so the
+paper's three L1 configurations land near the published miss ratios.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.trace.reference import AccessKind
+
+#: Bits reserved for the per-process offset; the process id occupies
+#: the bits above, so distinct processes never share cache blocks — and
+#: the high-order tag bits are highly non-uniform (a handful of pids
+#: and regions), exactly the hazard the paper's tag transformations
+#: address. 26 offset bits keep a multiprogramming mix of 8 processes
+#: inside a 32-bit virtual space, so a 16-bit tag is *exact* for the
+#: paper's level-two geometries (as on the VAX) rather than lossy.
+PROCESS_SPACE_BITS = 26
+
+_CODE_BASE = 0x0000_0000
+_DATA_BASE = 0x0100_0000
+_CHASE_BASE = 0x0200_0000
+
+#: The pid-0 slice is reserved as the globally shared segment
+#: (multiprocessor studies): every process/node that references shared
+#: data references the *same* blocks here. User pids start at 1.
+SHARED_BASE = 0x0000_0000
+SHARED_SPAN = 1 << PROCESS_SPACE_BITS
+
+
+def shared_block_set(count: int, granule: int = 16, seed: int = 0xC0FFEE):
+    """The canonical shared-data granule set (same for every process).
+
+    Scattered through the pid-0 slice at 64-byte spacing, seeded
+    independently of any process so all nodes agree on the layout.
+    """
+    import random as _random
+
+    if count <= 0:
+        raise ConfigurationError("shared set must be non-empty")
+    rng = _random.Random(seed ^ count)
+    slots = SHARED_SPAN // granule // 4
+    positions = set()
+    while len(positions) < count:
+        positions.add(rng.randrange(slots) * 4)
+    base = SHARED_BASE // granule
+    return tuple(base + p for p in sorted(positions))
+
+
+@dataclass(frozen=True)
+class ProcessParameters:
+    """Tunable knobs of the per-process model."""
+
+    #: Fraction of references that are instruction fetches.
+    instruction_fraction: float = 0.50
+    #: Fraction of *data* references that are stores.
+    store_fraction: float = 0.15
+    #: Probability an instruction fetch branches instead of advancing.
+    branch_probability: float = 0.16
+    #: Given a branch: probability it is a short backward loop branch.
+    loop_branch_fraction: float = 0.92
+    #: Maximum backward distance (bytes) of a loop branch.
+    loop_span: int = 96
+    #: Number of distinct routines in the code region.
+    routines: int = 16
+    #: Size of each routine in bytes.
+    routine_size: int = 512
+    #: Zipf exponent for call-target selection: most calls go to a few
+    #: hot routines, with a long tail of cold ones (realistic call
+    #: profiles; a uniform choice would inflate the code working set).
+    routine_theta: float = 1.8
+    #: Zipf exponent for data-block stack distances.
+    data_theta: float = 1.75
+    #: Maximum data stack distance tracked.
+    data_stack: int = 6144
+    #: Probability a data reference touches a brand-new block.
+    new_block_probability: float = 0.0008
+    #: Data granule size in bytes (unit of the stack model).
+    data_block: int = 16
+    #: Probability a data reference continues a sequential run.
+    sequential_run_probability: float = 0.03
+    #: New data blocks are allocated ``1..allocation_skip_max`` granules
+    #: past the previous allocation (1 = strictly sequential). Values
+    #: above 1 dilute spatial locality, controlling how much larger
+    #: cache blocks help.
+    allocation_skip_max: int = 8
+    #: Fraction of data references that chase pointers through a fixed
+    #: set of widely scattered granules (linked lists, hash buckets,
+    #: page tables). These references have *no* spatial locality, so
+    #: they are insensitive to cache block size while remaining very
+    #: sensitive to cache size — the knob that sets how much larger
+    #: blocks pay off overall.
+    chase_fraction: float = 0.062
+    #: Number of granules in the pointer-chase set.
+    chase_blocks: int = 220
+    #: Spacing between chase granules, in granules (>= 4 keeps them in
+    #: distinct 64-byte regions).
+    chase_spacing: int = 4
+    #: Zipf exponent over the chase set (small = near uniform).
+    chase_theta: float = 0.6
+    #: Heap allocations are grouped into arenas of this many granules;
+    #: each arena sits at a random 64 KB-aligned spot in the 16 MB data
+    #: region (mmap-like placement). Spreading arenas through the
+    #: region gives stored tags realistic entropy — with a packed heap
+    #: every block of a process would share one 16-bit tag value and
+    #: the partial-compare scheme would see pathological false-match
+    #: rates no transform could fix.
+    arena_granules: int = 1024
+    #: Fraction of data references that touch the globally *shared*
+    #: segment (multiprocessor studies; 0 keeps the uniprocessor
+    #: calibration untouched). All processes and nodes reference the
+    #: same shared granules.
+    shared_fraction: float = 0.0
+    #: Number of granules in the shared segment.
+    shared_blocks: int = 256
+    #: Zipf exponent over the shared set.
+    shared_theta: float = 0.6
+    #: Fraction of shared references that are stores (coherency
+    #: invalidation generators).
+    shared_store_fraction: float = 0.12
+    #: Skew of region placement: arena and chase positions are drawn as
+    #: ``region * u**placement_skew`` with ``u`` uniform, concentrating
+    #: allocations near the region base (real heaps grow upward from a
+    #: fixed origin). Skewed placement makes the *high-order* tag bits
+    #: non-uniform while the low-order bits stay rich — precisely the
+    #: situation Section 2.2's tag transformations are designed for,
+    #: and what separates the None/XOR/Improved lines of Figure 6.
+    placement_skew: float = 4.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on out-of-range knobs."""
+        fractions = (
+            self.instruction_fraction,
+            self.store_fraction,
+            self.branch_probability,
+            self.loop_branch_fraction,
+            self.new_block_probability,
+            self.sequential_run_probability,
+        )
+        for value in fractions:
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"fraction {value} outside [0, 1]")
+        if self.routines <= 0 or self.routine_size <= 0:
+            raise ConfigurationError("code region must be non-empty")
+        if self.data_stack <= 0:
+            raise ConfigurationError("data_stack must be positive")
+        if self.data_block <= 0 or self.data_block % 4:
+            raise ConfigurationError("data_block must be a positive multiple of 4")
+        if self.routine_theta <= 0 or self.data_theta <= 0:
+            raise ConfigurationError("Zipf exponents must be positive")
+        if self.allocation_skip_max < 1:
+            raise ConfigurationError("allocation_skip_max must be at least 1")
+        if not 0.0 <= self.chase_fraction <= 1.0:
+            raise ConfigurationError("chase_fraction outside [0, 1]")
+        if self.chase_blocks <= 0 or self.chase_spacing <= 0:
+            raise ConfigurationError("chase set must be non-empty")
+        if self.chase_theta <= 0:
+            raise ConfigurationError("chase_theta must be positive")
+        if self.arena_granules <= 0:
+            raise ConfigurationError("arena_granules must be positive")
+        if self.placement_skew < 1.0:
+            raise ConfigurationError("placement_skew must be >= 1 (1 = uniform)")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise ConfigurationError("shared_fraction outside [0, 1]")
+        if not 0.0 <= self.shared_store_fraction <= 1.0:
+            raise ConfigurationError("shared_store_fraction outside [0, 1]")
+        if self.shared_blocks <= 0:
+            raise ConfigurationError("shared_blocks must be positive")
+        if self.shared_theta <= 0:
+            raise ConfigurationError("shared_theta must be positive")
+
+
+class _ZipfCdf:
+    """Shared inverse-CDF table for Zipf stack-distance sampling."""
+
+    _cache = {}
+
+    def __new__(cls, max_distance: int, theta: float):
+        key = (max_distance, theta)
+        table = cls._cache.get(key)
+        if table is None:
+            cumulative: List[float] = []
+            total = 0.0
+            for d in range(1, max_distance + 1):
+                total += 1.0 / d**theta
+                cumulative.append(total)
+            table = [c / total for c in cumulative]
+            cls._cache[key] = table
+        return table
+
+
+class ProcessModel:
+    """Reference generator for one process (or the OS kernel)."""
+
+    def __init__(
+        self,
+        pid: int,
+        seed: int,
+        params: ProcessParameters = ProcessParameters(),
+    ) -> None:
+        if pid < 0:
+            raise ConfigurationError("pid must be non-negative")
+        params.validate()
+        self.pid = pid
+        self.params = params
+        self._rng = random.Random((seed << 20) ^ (pid * 0x9E3779B1))
+        self._base = pid << PROCESS_SPACE_BITS
+        region = 1 << (PROCESS_SPACE_BITS - 2)  # 16 MB per region
+        # The code segment lands at a random 32 KB-aligned spot in the
+        # code region, like a randomly relocated executable.
+        code_span = params.routines * params.routine_size
+        code_slots = max(1, (region - code_span) // 0x8000)
+        self._code_base = (
+            self._base + _CODE_BASE + self._rng.randrange(code_slots) * 0x8000
+        )
+        self._data_base = self._base + _DATA_BASE
+        self._data_region_granules = region // params.data_block
+        self._pc = self._code_base
+        self._data_stack: List[int] = []
+        self._zipf_cdf = _ZipfCdf(params.data_stack, params.data_theta)
+        self._routine_cdf = _ZipfCdf(params.routines, params.routine_theta)
+        # Each process gets its own hot-routine ordering, so different
+        # processes do not share a layout (they cannot share blocks
+        # anyway — distinct address spaces).
+        self._routine_order = list(range(params.routines))
+        self._rng.shuffle(self._routine_order)
+        self._arena_remaining = 0
+        self._next_new_block = self._fresh_arena()
+        self._run_block = None
+        self._run_remaining = 0
+        # The chase set is scattered uniformly through its own 16 MB
+        # region (linked structures live wherever the allocator put
+        # them), at chase_spacing-granule alignment so distinct entries
+        # never share a cache block.
+        chase_base = (self._base + _CHASE_BASE) // params.data_block
+        step = params.chase_spacing
+        slots = self._data_region_granules // step
+        positions = set()
+        while len(positions) < params.chase_blocks:
+            positions.add(self._skewed_slot(slots) * step)
+        self._chase_set = [chase_base + p for p in sorted(positions)]
+        self._rng.shuffle(self._chase_set)
+        self._chase_cdf = _ZipfCdf(params.chase_blocks, params.chase_theta)
+        if params.shared_fraction > 0.0:
+            self._shared_set = shared_block_set(
+                params.shared_blocks, granule=params.data_block
+            )
+            self._shared_cdf = _ZipfCdf(params.shared_blocks, params.shared_theta)
+        else:
+            self._shared_set = ()
+            self._shared_cdf = None
+
+    def _skewed_slot(self, slots: int) -> int:
+        """A slot index skewed toward 0 by ``placement_skew``."""
+        u = self._rng.random() ** self.params.placement_skew
+        index = int(u * slots)
+        return min(index, slots - 1)
+
+    def _fresh_arena(self) -> int:
+        """Pick a new 64 KB-aligned arena in the data region."""
+        params = self.params
+        arena_granules = 0x10000 // params.data_block
+        arenas = max(1, self._data_region_granules // arena_granules)
+        start = self._skewed_slot(arenas) * arena_granules
+        self._arena_remaining = params.arena_granules
+        return self._data_base // params.data_block + start
+
+    def next_reference(self) -> Tuple[AccessKind, int]:
+        """Produce one ``(kind, address)`` pair."""
+        rng = self._rng
+        if rng.random() < self.params.instruction_fraction:
+            return AccessKind.INSTRUCTION, self._next_instruction()
+        if self._shared_cdf is not None and (
+            rng.random() < self.params.shared_fraction
+        ):
+            rank = bisect.bisect_left(self._shared_cdf, rng.random())
+            block = self._shared_set[rank]
+            offset = rng.randrange(self.params.data_block // 4) * 4
+            address = block * self.params.data_block + offset
+            if rng.random() < self.params.shared_store_fraction:
+                return AccessKind.STORE, address
+            return AccessKind.LOAD, address
+        address = self._next_data_address()
+        if rng.random() < self.params.store_fraction:
+            return AccessKind.STORE, address
+        return AccessKind.LOAD, address
+
+    def _next_instruction(self) -> int:
+        params = self.params
+        rng = self._rng
+        address = self._pc
+        if rng.random() < params.branch_probability:
+            if rng.random() < params.loop_branch_fraction:
+                # Short backward branch: loop within the current routine.
+                span = min(params.loop_span, address - self._code_base)
+                if span >= 4:
+                    self._pc = address - (rng.randrange(span // 4) + 1) * 4
+                else:
+                    self._pc = address + 4
+            else:
+                # Call/jump to the start of another routine; targets are
+                # Zipf-distributed so a few routines are hot.
+                rank = bisect.bisect_left(self._routine_cdf, rng.random())
+                routine = self._routine_order[rank]
+                self._pc = self._code_base + routine * params.routine_size
+        else:
+            self._pc = address + 4
+            end = self._code_base + params.routines * params.routine_size
+            if self._pc >= end:
+                self._pc = self._code_base
+        return address
+
+    def _next_data_address(self) -> int:
+        params = self.params
+        rng = self._rng
+
+        if params.chase_fraction and rng.random() < params.chase_fraction:
+            rank = bisect.bisect_left(self._chase_cdf, rng.random())
+            block = self._chase_set[rank]
+            offset = rng.randrange(params.data_block // 4) * 4
+            return block * params.data_block + offset
+
+        if self._run_remaining > 0 and self._run_block is not None:
+            # Continue a sequential run into the adjacent block.
+            self._run_remaining -= 1
+            self._run_block += 1
+            block = self._run_block
+            self._promote(block)
+        else:
+            block = self._pick_block()
+            if rng.random() < params.sequential_run_probability:
+                self._run_block = block
+                self._run_remaining = rng.randrange(1, 5)
+            else:
+                self._run_remaining = 0
+        offset = rng.randrange(params.data_block // 4) * 4
+        return block * params.data_block + offset
+
+    def _pick_block(self) -> int:
+        params = self.params
+        rng = self._rng
+        stack = self._data_stack
+        fresh = not stack or rng.random() < params.new_block_probability
+        if not fresh:
+            u = rng.random()
+            distance = bisect.bisect_left(self._zipf_cdf, u) + 1
+            if distance > len(stack):
+                fresh = True
+        if fresh:
+            if self._arena_remaining <= 0:
+                self._next_new_block = self._fresh_arena()
+            skip = self.params.allocation_skip_max
+            if skip > 1:
+                skip = rng.randrange(1, skip + 1)
+            block = self._next_new_block + skip - 1
+            self._next_new_block = block + 1
+            self._arena_remaining -= skip
+        else:
+            block = stack.pop(distance - 1)
+        stack.insert(0, block)
+        if len(stack) > params.data_stack:
+            stack.pop()
+        return block
+
+    def _promote(self, block: int) -> None:
+        stack = self._data_stack
+        try:
+            stack.remove(block)
+        except ValueError:
+            pass
+        stack.insert(0, block)
+        if len(stack) > self.params.data_stack:
+            stack.pop()

@@ -1,0 +1,98 @@
+"""Trace statistics: reference mix, working sets, and locality measures.
+
+Used to sanity-check that the synthetic workload has ATUM-like
+characteristics before trusting the cache results built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.trace.reference import AccessKind, Reference
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate statistics of a reference stream."""
+
+    references: int = 0
+    flushes: int = 0
+    kind_counts: Dict[AccessKind, int] = field(default_factory=dict)
+    unique_blocks: int = 0
+    block_size: int = 16
+
+    @property
+    def instruction_fraction(self) -> float:
+        """Instruction fetches as a fraction of all references."""
+        if self.references == 0:
+            return 0.0
+        return self.kind_counts.get(AccessKind.INSTRUCTION, 0) / self.references
+
+    @property
+    def store_fraction(self) -> float:
+        """Stores as a fraction of data references."""
+        loads = self.kind_counts.get(AccessKind.LOAD, 0)
+        stores = self.kind_counts.get(AccessKind.STORE, 0)
+        if loads + stores == 0:
+            return 0.0
+        return stores / (loads + stores)
+
+
+def summarize_trace(
+    trace: Iterable[Reference],
+    block_size: int = 16,
+    limit: Optional[int] = None,
+) -> TraceStatistics:
+    """Single-pass summary of ``trace`` (optionally only a prefix)."""
+    stats = TraceStatistics(block_size=block_size)
+    blocks = set()
+    for ref in trace:
+        if ref.is_flush:
+            stats.flushes += 1
+            continue
+        stats.references += 1
+        stats.kind_counts[ref.kind] = stats.kind_counts.get(ref.kind, 0) + 1
+        blocks.add(ref.address // block_size)
+        if limit is not None and stats.references >= limit:
+            break
+    stats.unique_blocks = len(blocks)
+    return stats
+
+
+def stack_distance_profile(
+    trace: Iterable[Reference],
+    block_size: int = 16,
+    max_tracked: int = 8192,
+    limit: Optional[int] = None,
+) -> List[int]:
+    """Histogram of LRU stack distances (1-based) over block accesses.
+
+    Index 0 counts distance-1 re-references; the final bucket counts
+    first touches and distances beyond ``max_tracked``. This is the
+    locality fingerprint used for workload calibration.
+    """
+    histogram = [0] * (max_tracked + 1)
+    stack: List[int] = []
+    seen = 0
+    for ref in trace:
+        if ref.is_flush:
+            continue
+        block = ref.address // block_size
+        try:
+            index = stack.index(block)
+        except ValueError:
+            histogram[max_tracked] += 1
+        else:
+            if index < max_tracked:
+                histogram[index] += 1
+            else:
+                histogram[max_tracked] += 1
+            stack.pop(index)
+        stack.insert(0, block)
+        if len(stack) > max_tracked:
+            stack.pop()
+        seen += 1
+        if limit is not None and seen >= limit:
+            break
+    return histogram

@@ -1,0 +1,71 @@
+"""Tests for address decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.address import AddressMapper
+from repro.errors import ConfigurationError
+
+
+class TestAddressMapper:
+    def test_block_address(self):
+        mapper = AddressMapper(block_size=16, num_sets=64)
+        assert mapper.block_address(0) == 0
+        assert mapper.block_address(15) == 0
+        assert mapper.block_address(16) == 1
+        assert mapper.block_address(0x100) == 16
+
+    def test_set_index_wraps(self):
+        mapper = AddressMapper(block_size=16, num_sets=64)
+        assert mapper.set_index(0) == 0
+        assert mapper.set_index(16 * 64) == 0
+        assert mapper.set_index(16 * 65) == 1
+
+    def test_tag(self):
+        mapper = AddressMapper(block_size=16, num_sets=64)
+        assert mapper.tag(0) == 0
+        assert mapper.tag(16 * 64) == 1
+        assert mapper.tag(16 * 64 * 5 + 3) == 5
+
+    def test_split_consistent(self):
+        mapper = AddressMapper(block_size=32, num_sets=128)
+        addr = 0xDEADBEEF
+        assert mapper.split(addr) == (mapper.set_index(addr), mapper.tag(addr))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_size=24, num_sets=64)
+        with pytest.raises(ConfigurationError):
+            AddressMapper(block_size=16, num_sets=100)
+
+    def test_rejects_negative_address(self):
+        mapper = AddressMapper(16, 16)
+        with pytest.raises(ValueError):
+            mapper.block_address(-1)
+
+    def test_rebuild_range_checked(self):
+        mapper = AddressMapper(16, 16)
+        with pytest.raises(ValueError):
+            mapper.rebuild(16, 0)
+
+    @given(
+        addr=st.integers(0, 2**40 - 1),
+        block_bits=st.integers(2, 7),
+        set_bits=st.integers(0, 12),
+    )
+    @settings(max_examples=200)
+    def test_rebuild_roundtrip(self, addr, block_bits, set_bits):
+        mapper = AddressMapper(1 << block_bits, 1 << set_bits)
+        index, tag = mapper.split(addr)
+        rebuilt = mapper.rebuild(index, tag)
+        # Rebuild returns the block's first byte: equal up to offset.
+        assert rebuilt == (addr >> block_bits) << block_bits
+        assert mapper.split(rebuilt) == (index, tag)
+
+    @given(addr=st.integers(0, 2**32 - 1))
+    @settings(max_examples=200)
+    def test_distinct_blocks_have_distinct_index_tag_pairs(self, addr):
+        mapper = AddressMapper(16, 256)
+        other = addr + 16  # adjacent block
+        assert mapper.split(addr) != mapper.split(other)

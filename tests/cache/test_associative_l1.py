@@ -1,0 +1,112 @@
+"""Tests for the set-associative processor-facing L1."""
+
+import pytest
+
+from repro.cache.associative_l1 import AssociativeL1Cache
+from repro.cache.direct_mapped import DirectMappedCache, RequestKind
+from repro.errors import ConfigurationError
+from repro.trace.reference import AccessKind, Reference
+from repro.trace.synthetic import AtumWorkload
+
+
+def load(addr):
+    return Reference(AccessKind.LOAD, addr)
+
+
+def store(addr):
+    return Reference(AccessKind.STORE, addr)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AssociativeL1Cache(1024, 16, associativity=3)
+        with pytest.raises(ConfigurationError):
+            AssociativeL1Cache(1000, 16)
+
+    def test_num_lines(self):
+        cache = AssociativeL1Cache(4096, 16, associativity=4)
+        assert cache.num_lines == 256
+
+
+class TestProtocol:
+    def test_miss_then_hit(self):
+        cache = AssociativeL1Cache(1024, 16, associativity=2)
+        requests = cache.access(load(0x40))
+        assert [r.kind for r in requests] == [RequestKind.READ_IN]
+        assert cache.access(load(0x40)) == []
+
+    def test_dirty_victim_ordering(self):
+        cache = AssociativeL1Cache(512, 16, associativity=2)  # 16 sets
+        cache.access(store(0x000))
+        cache.access(load(0x100))   # same set, second way
+        requests = cache.access(load(0x200))  # evicts LRU = dirty 0x000
+        assert [r.kind for r in requests] == [
+            RequestKind.READ_IN,
+            RequestKind.WRITE_BACK,
+        ]
+        assert requests[1].address == 0x000
+
+    def test_lru_within_set(self):
+        cache = AssociativeL1Cache(512, 16, associativity=2)
+        cache.access(load(0x000))
+        cache.access(load(0x100))
+        cache.access(load(0x000))   # refresh
+        cache.access(load(0x200))   # evicts 0x100
+        assert cache.contains(0x000)
+        assert not cache.contains(0x100)
+
+    def test_invalidate(self):
+        cache = AssociativeL1Cache(512, 16, associativity=2)
+        cache.access(store(0x40))
+        assert cache.invalidate(0x40) is True  # was dirty
+        assert cache.invalidate(0x40) is None
+        assert not cache.contains(0x40)
+
+    def test_invalidate_all(self):
+        cache = AssociativeL1Cache(512, 16, associativity=2)
+        cache.access(load(0x40))
+        cache.invalidate_all()
+        assert not cache.contains(0x40)
+
+
+class TestDirectMappedEquivalence:
+    def test_one_way_matches_direct_mapped(self):
+        """At associativity 1 the request streams must be identical."""
+        workload = AtumWorkload(segments=1, references_per_segment=8_000, seed=9)
+        direct = DirectMappedCache(4096, 16)
+        one_way = AssociativeL1Cache(4096, 16, associativity=1)
+        for ref in workload:
+            if ref.is_flush:
+                direct.invalidate_all()
+                one_way.invalidate_all()
+                continue
+            assert direct.access(ref) == one_way.access(ref)
+        assert direct.stats.readin_misses == one_way.stats.readin_misses
+        assert direct.stats.dirty_evictions == one_way.stats.dirty_evictions
+
+
+class TestAssociativityEffect:
+    def test_wider_l1_misses_less(self):
+        workload = list(
+            AtumWorkload(segments=1, references_per_segment=15_000, seed=9)
+        )
+        ratios = []
+        for assoc in (1, 2, 4):
+            cache = AssociativeL1Cache(4096, 16, associativity=assoc)
+            for ref in workload:
+                if not ref.is_flush:
+                    cache.access(ref)
+            ratios.append(cache.stats.readin_miss_ratio)
+        assert ratios[0] > ratios[1] >= ratios[2]
+
+    def test_works_in_hierarchy(self):
+        from repro.cache.hierarchy import TwoLevelHierarchy
+        from repro.cache.set_associative import SetAssociativeCache
+
+        workload = AtumWorkload(segments=1, references_per_segment=5_000, seed=9)
+        l1 = AssociativeL1Cache(4096, 16, associativity=2)
+        l2 = SetAssociativeCache(64 * 1024, 32, 4)
+        hierarchy = TwoLevelHierarchy(l1, l2)
+        stats = hierarchy.run(iter(workload))
+        assert stats.l2.readins == l1.stats.readin_misses

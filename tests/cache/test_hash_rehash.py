@@ -1,0 +1,119 @@
+"""Tests for the hash-rehash cache (paper footnote 2)."""
+
+import pytest
+
+from repro.cache.hash_rehash import HashRehashCache
+from repro.errors import ConfigurationError
+
+
+def cache(capacity=256, block=16):
+    return HashRehashCache(capacity, block)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HashRehashCache(250, 16)
+        with pytest.raises(ConfigurationError):
+            HashRehashCache(16, 16)  # one line cannot rehash
+
+
+class TestLookup:
+    def test_primary_hit_costs_one_probe(self):
+        c = cache()
+        c.read_in(0x40)
+        assert c.read_in(0x40)
+        assert c.probes.hit_probes == 1
+        assert c.probes.hit_accesses == 1
+
+    def test_miss_costs_two_probes(self):
+        c = cache()
+        c.read_in(0x40)
+        assert c.probes.miss_probes == 2
+
+    def test_rehash_hit_costs_two_probes_and_swaps(self):
+        c = cache(256, 16)  # 16 lines, rehash flips bit 3
+        c.read_in(0x00)        # home line 0
+        c.read_in(0x100)       # also home line 0 -> displaces 0x00 to line 8
+        assert c.contains(0x00)
+        assert c.contains(0x100)
+        # 0x00 now sits at its rehash slot: next access pays 2 probes
+        # and swaps it back.
+        before = c.probes.hit_probes
+        assert c.read_in(0x00)
+        assert c.probes.hit_probes - before == 2
+        # Swapped to primary: another access is 1 probe.
+        before = c.probes.hit_probes
+        assert c.read_in(0x00)
+        assert c.probes.hit_probes - before == 1
+
+    def test_pair_holds_two_conflicting_blocks(self):
+        c = cache(256, 16)
+        c.read_in(0x00)
+        c.read_in(0x100)
+        c.read_in(0x00)
+        c.read_in(0x100)
+        # Both resident: a plain direct-mapped cache would thrash.
+        assert c.stats.readin_misses == 2
+        assert c.stats.readin_hits == 2
+
+    def test_third_conflicting_block_evicts(self):
+        c = cache(256, 16)
+        c.read_in(0x00)
+        c.read_in(0x100)
+        c.read_in(0x200)   # third block, same pair -> eviction
+        assert c.stats.evictions == 1
+        resident = [c.contains(a) for a in (0x00, 0x100, 0x200)]
+        assert sum(resident) == 2
+        assert c.contains(0x200)
+
+    def test_swap_preserves_dirty_bits(self):
+        c = cache(256, 16)
+        c.read_in(0x00)
+        c.write_back(0x00)      # dirty, at primary
+        c.read_in(0x100)        # displaces dirty 0x00 to rehash slot
+        c.read_in(0x00)         # swap back
+        # Evict everything through the pair and count dirty evictions.
+        c.read_in(0x200)
+        c.read_in(0x300)
+        assert c.stats.dirty_evictions == 1
+
+    def test_writebacks_cost_zero_probes(self):
+        c = cache()
+        c.read_in(0x40)
+        c.write_back(0x40)
+        assert c.probes.writeback_probes == 0
+        assert c.stats.writeback_hits == 1
+
+    def test_writeback_miss_allocates(self):
+        c = cache()
+        c.write_back(0x40)
+        assert c.stats.writeback_misses == 1
+        assert c.contains(0x40)
+
+    def test_invalidate_all(self):
+        c = cache()
+        c.read_in(0x40)
+        c.invalidate_all()
+        assert not c.contains(0x40)
+
+
+class TestVersusTwoWay:
+    def test_miss_ratio_close_to_two_way_lru(self):
+        # Hash-rehash pairs lines into pseudo-2-way sets; on a
+        # conflict-heavy stream its miss ratio should land far below
+        # direct-mapped and near true 2-way LRU.
+        from repro.cache.set_associative import SetAssociativeCache
+        import random
+
+        rng = random.Random(3)
+        addresses = [rng.randrange(64) * 16 for _ in range(4000)]
+
+        hr = cache(256, 16)
+        two_way = SetAssociativeCache(256, 16, 2)
+        for addr in addresses:
+            hr.read_in(addr)
+            two_way.read_in(addr)
+        hr_ratio = hr.stats.readin_miss_ratio
+        lru_ratio = two_way.stats.readin_miss_ratio
+        assert abs(hr_ratio - lru_ratio) < 0.12

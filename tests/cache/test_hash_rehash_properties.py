@@ -1,0 +1,75 @@
+"""Property tests for the hash-rehash cache invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hash_rehash import HashRehashCache
+
+LINES = 16
+BLOCK = 16
+
+
+@st.composite
+def request_sequences(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 80))):
+        kind = draw(st.sampled_from(["read", "write", "flush"]))
+        block = draw(st.integers(0, 63))
+        ops.append((kind, block * BLOCK))
+    return ops
+
+
+def check_invariants(cache: HashRehashCache) -> None:
+    mask = cache.num_lines >> 1
+    seen = set()
+    for line, block in enumerate(cache._blocks):
+        if block is None:
+            continue
+        # No duplicates anywhere.
+        assert block not in seen
+        seen.add(block)
+        # Every block sits at its home line or its rehash partner.
+        home = block & (cache.num_lines - 1)
+        assert line in (home, home ^ mask)
+        # And is therefore findable.
+        assert cache.contains(block * BLOCK)
+
+
+@given(ops=request_sequences())
+@settings(max_examples=200, deadline=None)
+def test_invariants_under_random_requests(ops):
+    cache = HashRehashCache(LINES * BLOCK, BLOCK)
+    for kind, addr in ops:
+        if kind == "read":
+            cache.read_in(addr)
+        elif kind == "write":
+            cache.write_back(addr)
+        else:
+            cache.invalidate_all()
+        check_invariants(cache)
+        # A block just accessed must be resident at its primary line.
+        if kind != "flush":
+            block = addr // BLOCK
+            home = block & (cache.num_lines - 1)
+            assert cache._blocks[home] == block
+
+
+@given(ops=request_sequences())
+@settings(max_examples=100, deadline=None)
+def test_probe_accounting_consistent(ops):
+    cache = HashRehashCache(LINES * BLOCK, BLOCK)
+    for kind, addr in ops:
+        if kind == "read":
+            cache.read_in(addr)
+        elif kind == "write":
+            cache.write_back(addr)
+        else:
+            cache.invalidate_all()
+    acc = cache.probes
+    assert acc.hit_accesses == cache.stats.readin_hits
+    assert acc.miss_accesses == cache.stats.readin_misses
+    assert acc.writeback_accesses == cache.stats.writebacks
+    # Hits cost 1 or 2 probes; misses exactly 2.
+    if acc.hit_accesses:
+        assert acc.hit_accesses <= acc.hit_probes <= 2 * acc.hit_accesses
+    assert acc.miss_probes == 2 * acc.miss_accesses

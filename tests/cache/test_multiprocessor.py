@@ -1,0 +1,180 @@
+"""Tests for the multi-node write-invalidate system."""
+
+import pytest
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.hierarchy import TwoLevelHierarchy
+from repro.cache.multiprocessor import MultiprocessorSystem, node_workloads
+from repro.cache.set_associative import SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.trace.process_model import SHARED_BASE, shared_block_set
+from repro.trace.reference import AccessKind, Reference
+
+
+def make_node(l2_assoc=4):
+    l1 = DirectMappedCache(2048, 16)
+    l2 = SetAssociativeCache(16 * 1024, 32, l2_assoc)
+    return TwoLevelHierarchy(l1, l2)
+
+
+def load(addr):
+    return Reference(AccessKind.LOAD, addr)
+
+
+def store(addr):
+    return Reference(AccessKind.STORE, addr)
+
+
+SHARED_ADDR = SHARED_BASE + 0x400
+PRIVATE_ADDR = (1 << 26) + 0x400  # pid-1 slice
+
+
+class TestCoherence:
+    def test_remote_store_invalidates_shared_copy(self):
+        system = MultiprocessorSystem([make_node(), make_node()])
+        system.access(0, load(SHARED_ADDR))
+        assert system.nodes[0].l2.contains(SHARED_ADDR)
+        system.access(1, store(SHARED_ADDR))
+        assert not system.nodes[0].l2.contains(SHARED_ADDR)
+        assert not system.nodes[0].l1.contains(SHARED_ADDR)
+        assert system.stats.nodes[1].broadcasts == 1
+        assert system.stats.nodes[0].l2_invalidations == 1
+
+    def test_writer_keeps_its_own_copy(self):
+        system = MultiprocessorSystem([make_node(), make_node()])
+        system.access(0, store(SHARED_ADDR))
+        assert system.nodes[0].l2.contains(SHARED_ADDR)
+
+    def test_private_stores_do_not_broadcast(self):
+        system = MultiprocessorSystem([make_node(), make_node()])
+        system.access(0, load(PRIVATE_ADDR))
+        system.access(1, store(PRIVATE_ADDR))
+        # Same address, but private range: no coherence action (each
+        # node's caches are private; this models unshared data).
+        assert system.stats.total_broadcasts == 0
+
+    def test_loads_never_invalidate(self):
+        system = MultiprocessorSystem([make_node(), make_node()])
+        system.access(0, load(SHARED_ADDR))
+        system.access(1, load(SHARED_ADDR))
+        assert system.nodes[0].l2.contains(SHARED_ADDR)
+        assert system.stats.total_broadcasts == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiprocessorSystem([])
+        with pytest.raises(ConfigurationError):
+            MultiprocessorSystem([make_node()], shared_range=(10, 5))
+
+
+class TestOwnershipTracking:
+    def make(self):
+        return MultiprocessorSystem(
+            [make_node(), make_node()], track_ownership=True
+        )
+
+    def test_repeat_stores_by_owner_are_silent(self):
+        system = self.make()
+        system.access(0, store(SHARED_ADDR))
+        system.access(0, store(SHARED_ADDR))
+        system.access(0, store(SHARED_ADDR))
+        assert system.stats.nodes[0].broadcasts == 1
+
+    def test_remote_load_demotes_owner(self):
+        system = self.make()
+        system.access(0, store(SHARED_ADDR))
+        system.access(1, load(SHARED_ADDR))
+        system.access(0, store(SHARED_ADDR))
+        assert system.stats.nodes[0].broadcasts == 2
+        # And the remote copy is gone again.
+        assert not system.nodes[1].l2.contains(SHARED_ADDR)
+
+    def test_ownership_transfers_between_writers(self):
+        system = self.make()
+        system.access(0, store(SHARED_ADDR))
+        system.access(1, store(SHARED_ADDR))   # takes ownership
+        system.access(1, store(SHARED_ADDR))   # silent
+        assert system.stats.nodes[0].broadcasts == 1
+        assert system.stats.nodes[1].broadcasts == 1
+
+    def test_ownership_reduces_traffic_on_workloads(self):
+        workloads = node_workloads(
+            2, segments=1, references_per_segment=6_000, shared_fraction=0.1
+        )
+        pessimistic = MultiprocessorSystem([make_node(), make_node()])
+        pessimistic.run([iter(w) for w in workloads], quantum=32)
+
+        workloads = node_workloads(
+            2, segments=1, references_per_segment=6_000, shared_fraction=0.1
+        )
+        tracked = MultiprocessorSystem(
+            [make_node(), make_node()], track_ownership=True
+        )
+        tracked.run([iter(w) for w in workloads], quantum=32)
+
+        assert tracked.stats.total_broadcasts < (
+            pessimistic.stats.total_broadcasts
+        )
+
+
+class TestRun:
+    def test_round_robin_interleaving(self):
+        system = MultiprocessorSystem([make_node(), make_node()])
+        traces = [
+            [load(SHARED_ADDR), store(SHARED_ADDR)],
+            [load(SHARED_ADDR + 64)],
+        ]
+        system.run(traces, quantum=1)
+        assert system.stats.references == 3
+        assert system.stats.nodes[0].broadcasts == 1
+
+    def test_trace_count_checked(self):
+        system = MultiprocessorSystem([make_node()])
+        with pytest.raises(ConfigurationError):
+            system.run([[], []])
+
+    def test_utilization(self):
+        system = MultiprocessorSystem([make_node(), make_node()])
+        assert system.l2_utilization() == 0.0
+        system.access(0, load(SHARED_ADDR))
+        assert system.l2_utilization() > 0.0
+
+
+class TestSharedWorkload:
+    def test_shared_set_is_identical_everywhere(self):
+        assert shared_block_set(64) == shared_block_set(64)
+        assert shared_block_set(64) != shared_block_set(65)
+
+    def test_node_workloads_touch_shared_segment(self):
+        workloads = node_workloads(
+            2, segments=1, references_per_segment=8_000,
+            shared_fraction=0.1,
+        )
+        shared = []
+        for workload in workloads:
+            touched = {
+                r.address
+                for r in workload
+                if not r.is_flush and r.address < (1 << 26)
+            }
+            assert touched, "no shared references generated"
+            shared.append(touched)
+        # The two nodes reference overlapping shared blocks.
+        assert shared[0] & shared[1]
+
+    def test_zero_shared_fraction_stays_private(self):
+        workloads = node_workloads(
+            1, segments=1, references_per_segment=3_000, shared_fraction=0.0
+        )
+        for r in workloads[0]:
+            if not r.is_flush:
+                assert r.address >= (1 << 26)
+
+    def test_endogenous_invalidations_flow(self):
+        workloads = node_workloads(
+            2, segments=1, references_per_segment=6_000, shared_fraction=0.1
+        )
+        system = MultiprocessorSystem([make_node(), make_node()])
+        system.run([iter(w) for w in workloads], quantum=32)
+        assert system.stats.total_broadcasts > 0
+        assert system.stats.total_l2_invalidations > 0

@@ -1,0 +1,96 @@
+"""Tests for probe observers and the write-back optimization accounting."""
+
+import pytest
+
+from repro.cache.direct_mapped import RequestKind
+from repro.cache.observers import MruDistanceObserver, ProbeObserver
+from repro.core.naive import NaiveLookup
+from repro.core.probes import SetView
+
+
+def view(tags, mru=None):
+    if mru is None:
+        mru = tuple(i for i, t in enumerate(tags) if t is not None)
+    return SetView(tags=tuple(tags), mru_order=tuple(mru))
+
+
+class TestProbeObserver:
+    def test_hit_recorded(self):
+        observer = ProbeObserver(NaiveLookup(4))
+        observer.observe(view([1, 2, 3, 4]), 3, RequestKind.READ_IN)
+        acc = observer.accumulator
+        assert acc.hit_accesses == 1
+        assert acc.hit_probes == 3
+
+    def test_miss_recorded(self):
+        observer = ProbeObserver(NaiveLookup(4))
+        observer.observe(view([1, 2, 3, 4]), 9, RequestKind.READ_IN)
+        acc = observer.accumulator
+        assert acc.miss_accesses == 1
+        assert acc.miss_probes == 4
+
+    def test_optimized_writeback_costs_zero(self):
+        observer = ProbeObserver(NaiveLookup(4), writeback_optimization=True)
+        observer.observe(view([1, 2, 3, 4]), 2, RequestKind.WRITE_BACK)
+        acc = observer.accumulator
+        assert acc.writeback_accesses == 1
+        assert acc.writeback_probes == 0
+
+    def test_unoptimized_writeback_pays_lookup_probes(self):
+        observer = ProbeObserver(NaiveLookup(4), writeback_optimization=False)
+        observer.observe(view([1, 2, 3, 4]), 4, RequestKind.WRITE_BACK)
+        acc = observer.accumulator
+        assert acc.writeback_probes == 4
+
+    def test_default_label_is_scheme_name(self):
+        assert ProbeObserver(NaiveLookup(4)).label == "naive"
+        assert ProbeObserver(NaiveLookup(4), label="x").label == "x"
+
+
+class TestMruDistanceObserver:
+    def test_counts_hit_distances(self):
+        observer = MruDistanceObserver(4)
+        v = view([10, 20, 30, 40], mru=[0, 1, 2, 3])
+        observer.observe(v, 10, RequestKind.READ_IN)  # distance 1
+        observer.observe(v, 20, RequestKind.READ_IN)  # distance 2
+        observer.observe(v, 10, RequestKind.READ_IN)  # distance 1
+        assert observer.counts == {1: 2, 2: 1}
+
+    def test_misses_not_counted(self):
+        observer = MruDistanceObserver(4)
+        observer.observe(view([10, 20, 30, 40]), 99, RequestKind.READ_IN)
+        assert observer.hits == 0
+
+    def test_writebacks_not_counted(self):
+        observer = MruDistanceObserver(4)
+        observer.observe(view([10, 20, 30, 40]), 10, RequestKind.WRITE_BACK)
+        assert observer.hits == 0
+
+    def test_distribution_normalized(self):
+        observer = MruDistanceObserver(4)
+        v = view([10, 20, 30, 40], mru=[0, 1, 2, 3])
+        for tag in (10, 10, 10, 20):
+            observer.observe(v, tag, RequestKind.READ_IN)
+        dist = observer.distribution()
+        assert dist == pytest.approx([0.75, 0.25, 0.0, 0.0])
+        assert sum(dist) == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        assert MruDistanceObserver(4).distribution() == [0.0] * 4
+
+    def test_update_fraction(self):
+        observer = MruDistanceObserver(4)
+        v = view([10, 20, 30, 40], mru=[0, 1, 2, 3])
+        observer.observe(v, 10, RequestKind.READ_IN)   # head: no update
+        observer.observe(v, 20, RequestKind.READ_IN)   # distance 2: update
+        observer.observe(v, 99, RequestKind.READ_IN)   # miss: update
+        observer.observe(v, 10, RequestKind.WRITE_BACK)  # head: no update
+        assert observer.update_fraction == pytest.approx(0.5)
+
+    def test_update_fraction_empty_set(self):
+        observer = MruDistanceObserver(4)
+        observer.observe(view([None] * 4, mru=[]), 1, RequestKind.READ_IN)
+        assert observer.update_fraction == 1.0
+
+    def test_update_fraction_no_accesses(self):
+        assert MruDistanceObserver(4).update_fraction == 0.0

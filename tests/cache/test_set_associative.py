@@ -1,0 +1,172 @@
+"""Tests for the set-associative L2 cache."""
+
+import pytest
+
+from repro.cache.replacement import LruReplacement
+from repro.cache.set_associative import SetAssociativeCache
+from repro.errors import ConfigurationError
+
+
+def make_cache(capacity=1024, block=32, assoc=4, **kw):
+    return SetAssociativeCache(capacity, block, assoc, **kw)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = make_cache(1024, 32, 4)
+        assert cache.num_sets == 8
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(assoc=3)
+
+    def test_rejects_capacity_not_multiple_of_block(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(capacity=1000)
+
+    def test_rejects_blocks_not_divisible_into_sets(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(64, 32, 4)  # 2 blocks, 4-way
+
+    def test_replacement_by_name(self):
+        cache = make_cache(replacement="fifo")
+        assert cache.replacement.name == "fifo"
+
+
+class TestReadIns:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.read_in(0x40) is False
+        assert cache.read_in(0x40) is True
+        assert cache.stats.readin_misses == 1
+        assert cache.stats.readin_hits == 1
+
+    def test_set_holds_associativity_blocks(self):
+        cache = make_cache(1024, 32, 4)  # 8 sets
+        # Four blocks mapping to set 0: addresses k * 8 * 32.
+        for k in range(4):
+            cache.read_in(k * 256)
+        for k in range(4):
+            assert cache.contains(k * 256)
+        assert cache.stats.evictions == 0
+
+    def test_lru_eviction_on_overflow(self):
+        cache = make_cache(1024, 32, 4)
+        for k in range(4):
+            cache.read_in(k * 256)
+        cache.read_in(0 * 256)  # touch block 0: now LRU is block 1
+        cache.read_in(4 * 256)
+        assert cache.stats.evictions == 1
+        assert not cache.contains(1 * 256)
+        assert cache.contains(0 * 256)
+
+    def test_different_sets_do_not_interfere(self):
+        cache = make_cache(1024, 32, 4)
+        for k in range(16):
+            cache.read_in(k * 32)
+        assert cache.stats.evictions == 0
+
+
+class TestWriteBacks:
+    def test_write_back_hit_dirties_and_touches(self):
+        cache = make_cache(1024, 32, 4)
+        for k in range(4):
+            cache.read_in(k * 256)
+        cache.write_back(0)  # block 0 now MRU and dirty
+        cache.read_in(4 * 256)  # evicts LRU = block 1
+        assert cache.contains(0)
+        assert not cache.contains(256)
+        assert cache.stats.writeback_hits == 1
+
+    def test_write_back_miss_allocates_dirty(self):
+        cache = make_cache(1024, 32, 4)
+        assert cache.write_back(0x40) is False
+        assert cache.stats.writeback_misses == 1
+        assert cache.contains(0x40)
+        # Evicting it counts a dirty eviction.
+        index = cache.mapper.set_index(0x40)
+        for k in range(1, 5):
+            cache.read_in((index + 8 * k) * 32)
+        assert cache.stats.dirty_evictions == 1
+
+    def test_dirty_eviction_counted(self):
+        cache = make_cache(1024, 32, 4)
+        cache.read_in(0)
+        cache.write_back(0)
+        for k in range(1, 5):
+            cache.read_in(k * 256)
+        assert cache.stats.dirty_evictions == 1
+
+
+class TestStats:
+    def test_local_miss_ratio_counts_both_kinds(self):
+        cache = make_cache()
+        cache.read_in(0)      # miss
+        cache.read_in(0)      # hit
+        cache.write_back(0)   # hit
+        cache.write_back(512)  # miss
+        assert cache.stats.local_miss_ratio == pytest.approx(0.5)
+        assert cache.stats.fraction_writebacks == pytest.approx(0.5)
+
+    def test_invalidate_all(self):
+        cache = make_cache()
+        cache.read_in(0)
+        cache.invalidate_all()
+        assert not cache.contains(0)
+
+
+class TestObserverProtocol:
+    def test_observers_see_pre_update_state(self):
+        seen = []
+
+        class Spy:
+            def observe(self, view, tag, kind):
+                seen.append((view.tags, tag))
+
+        cache = make_cache(1024, 32, 4)
+        cache.attach(Spy())
+        cache.read_in(0)
+        cache.read_in(0)
+        # First access saw an empty set; second saw the installed tag.
+        assert seen[0][0] == (None, None, None, None)
+        assert seen[1][0].count(None) == 3
+
+    def test_multiple_observers_all_notified(self):
+        calls = []
+
+        class Spy:
+            def __init__(self, name):
+                self.name = name
+
+            def observe(self, view, tag, kind):
+                calls.append(self.name)
+
+        cache = make_cache()
+        cache.attach_all([Spy("a"), Spy("b")])
+        cache.read_in(0)
+        assert calls == ["a", "b"]
+
+
+class TestReplacementIntegration:
+    def test_first_fill_uses_frame_order(self):
+        cache = make_cache(1024, 32, 4, replacement=LruReplacement(fill="first"))
+        for k in range(3):
+            cache.read_in(k * 256)
+        view = cache.sets[0].view()
+        assert view.tags[0] is not None
+        assert view.tags[1] is not None
+        assert view.tags[2] is not None
+        assert view.tags[3] is None
+
+    def test_random_fill_spreads_blocks(self):
+        cache = make_cache(8192, 32, 8, replacement=LruReplacement(fill="random"))
+        # One block per set; over 32 sets the filled frame positions
+        # should not all be frame 0.
+        for index in range(32):
+            cache.read_in(index * 32)
+        frames = set()
+        for s in cache.sets:
+            for frame, tag in enumerate(s.view().tags):
+                if tag is not None:
+                    frames.add(frame)
+        assert len(frames) > 1

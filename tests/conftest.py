@@ -1,0 +1,39 @@
+"""Shared fixtures: small deterministic workloads and cache builders.
+
+Simulation tests use deliberately tiny workloads — they assert
+mechanics and invariants, not calibration. Calibration against the
+paper's published numbers lives in ``tests/integration`` on a
+moderately sized workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.set_associative import SetAssociativeCache
+from repro.trace.synthetic import AtumWorkload
+
+
+@pytest.fixture(scope="session")
+def tiny_workload() -> AtumWorkload:
+    """Two segments of 8k references: fast, still multiprogrammed."""
+    return AtumWorkload(segments=2, references_per_segment=8_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_workload) -> list:
+    """The tiny workload materialized once per session."""
+    return list(tiny_workload)
+
+
+@pytest.fixture
+def small_l1() -> DirectMappedCache:
+    return DirectMappedCache(capacity_bytes=1024, block_size=16)
+
+
+@pytest.fixture
+def small_l2() -> SetAssociativeCache:
+    return SetAssociativeCache(
+        capacity_bytes=4096, block_size=32, associativity=4
+    )

@@ -1,0 +1,194 @@
+"""Tests for the closed-form probe models (Table 1 and §2.2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    default_subsets,
+    expected_mru_hit_probes,
+    expected_mru_miss_probes,
+    expected_naive_hit_probes,
+    expected_naive_miss_probes,
+    expected_partial_hit_probes,
+    expected_partial_miss_probes,
+    expected_total_probes,
+    expected_traditional_probes,
+    geometric_hit_distribution,
+    optimal_partial_width,
+    optimal_subsets,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTable1Values:
+    """Exact agreement with the paper's Table 1 example rows."""
+
+    def test_traditional(self):
+        assert expected_traditional_probes() == 1.0
+
+    def test_naive_4way(self):
+        assert expected_naive_hit_probes(4) == 2.5
+        assert expected_naive_miss_probes(4) == 4.0
+
+    def test_mru_miss_4way(self):
+        assert expected_mru_miss_probes(4) == 5.0
+
+    def test_partial_4way_k4(self):
+        assert expected_partial_hit_probes(4, 4, 1) == pytest.approx(
+            2 + (4 - 1) / 2**5
+        )
+        assert round(expected_partial_hit_probes(4, 4, 1), 2) == 2.09
+        assert expected_partial_miss_probes(4, 4, 1) == 1.25
+
+    def test_partial_8way_k2_one_subset(self):
+        assert round(expected_partial_hit_probes(8, 2, 1), 2) == 2.88
+        assert expected_partial_miss_probes(8, 2, 1) == 3.0
+
+    def test_partial_8way_k4_two_subsets(self):
+        assert round(expected_partial_hit_probes(8, 4, 2), 2) == 2.72
+        assert expected_partial_miss_probes(8, 4, 2) == 2.5
+
+    def test_mru_hit_range(self):
+        # Table 1 gives the MRU hit range [2, a+1]: best case every hit
+        # at distance 1, worst case every hit at distance a.
+        best = expected_mru_hit_probes([1.0, 0.0, 0.0, 0.0])
+        worst = expected_mru_hit_probes([0.0, 0.0, 0.0, 1.0])
+        assert best == 2.0
+        assert worst == 5.0
+
+
+class TestMruModel:
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            expected_mru_hit_probes([0.5, 0.2])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_mru_hit_probes([1.5, -0.5])
+
+    def test_geometric_distribution_normalized(self):
+        for ratio in (0.1, 0.5, 1.0):
+            dist = geometric_hit_distribution(8, ratio)
+            assert math.fsum(dist) == pytest.approx(1.0)
+            assert all(p >= 0 for p in dist)
+
+    def test_geometric_distribution_is_decreasing(self):
+        dist = geometric_hit_distribution(8, 0.5)
+        assert all(a >= b for a, b in zip(dist, dist[1:]))
+
+    def test_geometric_ratio_one_is_uniform(self):
+        dist = geometric_hit_distribution(4, 1.0)
+        assert dist == pytest.approx([0.25] * 4)
+
+    def test_geometric_mru_probes_grow_roughly_linearly(self):
+        # The paper's explanation of Figure 3: geometric f_i with slope
+        # ~ -1/a gives probes linear in associativity.
+        probes = []
+        for a in (4, 8, 16):
+            dist = geometric_hit_distribution(a, 1 - 1 / a)
+            probes.append(expected_mru_hit_probes(dist))
+        first_gap = probes[1] - probes[0]
+        second_gap = probes[2] - probes[1]
+        assert second_gap > first_gap > 0
+
+
+class TestPartialModel:
+    def test_partial_reduces_to_naive_at_full_subsets(self):
+        # s = a with k = t: each "partial" probe examines one whole tag.
+        # Miss cost s + a/2^k ~ a for wide k.
+        assert expected_partial_miss_probes(8, 16, 8) == pytest.approx(
+            8 + 8 / 2**16
+        )
+
+    def test_more_subsets_cost_more_on_misses_for_wide_k(self):
+        assert expected_partial_miss_probes(8, 4, 4) > (
+            expected_partial_miss_probes(8, 4, 2)
+        )
+
+    def test_wider_compares_reduce_hit_probes(self):
+        assert expected_partial_hit_probes(8, 4, 1) < (
+            expected_partial_hit_probes(8, 2, 1)
+        )
+
+    def test_subsets_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            expected_partial_hit_probes(8, 4, 3)
+
+    @given(
+        a=st.sampled_from([2, 4, 8, 16]),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=60)
+    def test_hit_probes_at_least_two(self, a, k):
+        # One partial probe plus the final full match.
+        assert expected_partial_hit_probes(a, k, 1) >= 2.0
+
+    @given(a=st.sampled_from([4, 8, 16]), k=st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_miss_probes_decrease_with_k(self, a, k):
+        assert expected_partial_miss_probes(a, k + 1, 1) < (
+            expected_partial_miss_probes(a, k, 1)
+        )
+
+
+class TestOptimalChoices:
+    def test_k_opt_formula(self):
+        assert optimal_partial_width(16) == pytest.approx(math.log2(16) - 0.5)
+        assert optimal_partial_width(32) == pytest.approx(4.5)
+
+    def test_default_subsets_matches_paper_t16(self):
+        # Paper §3: 1, 2, 4 subsets for 4, 8, 16-way at t = 16.
+        assert default_subsets(4, 16) == 1
+        assert default_subsets(8, 16) == 2
+        assert default_subsets(16, 16) == 4
+
+    def test_default_subsets_t32(self):
+        # Paper Figure 6: larger tags reduce the subset count.
+        assert default_subsets(4, 32) == 1
+        assert default_subsets(8, 32) == 1
+        assert default_subsets(16, 32) == 2
+
+    def test_optimal_subsets_prefers_fewer_at_low_miss_ratio(self):
+        low = optimal_subsets(8, 16, miss_ratio=0.0)
+        high = optimal_subsets(8, 16, miss_ratio=1.0)
+        assert low <= high or low == high
+
+    def test_optimal_subsets_matches_expected_probe_enumeration(self):
+        a, t, m = 8, 16, 0.2
+        best = optimal_subsets(a, t, m)
+        costs = {}
+        s = 1
+        while s <= a:
+            k = t * s // a
+            if k >= 1:
+                costs[s] = expected_total_probes(
+                    expected_partial_hit_probes(a, k, s),
+                    expected_partial_miss_probes(a, k, s),
+                    m,
+                )
+            s *= 2
+        assert costs[best] == min(costs.values())
+
+    def test_total_probes_interpolates(self):
+        assert expected_total_probes(2.0, 4.0, 0.5) == 3.0
+        assert expected_total_probes(2.0, 4.0, 0.0) == 2.0
+        assert expected_total_probes(2.0, 4.0, 1.0) == 4.0
+
+    def test_total_probes_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            expected_total_probes(2.0, 4.0, 1.5)
+
+
+class TestValidation:
+    def test_associativity_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            expected_naive_hit_probes(6)
+        with pytest.raises(ConfigurationError):
+            expected_mru_miss_probes(0)
+
+    def test_partial_bits_positive(self):
+        with pytest.raises(ConfigurationError):
+            expected_partial_hit_probes(4, 0, 1)

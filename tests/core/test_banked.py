@@ -1,0 +1,82 @@
+"""Tests for the banked serial lookup (intermediate tag widths)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.banked import (
+    BankedLookup,
+    expected_banked_hit_probes,
+    expected_banked_miss_probes,
+)
+from repro.core.naive import NaiveLookup
+from repro.core.probes import SetView
+from repro.core.traditional import TraditionalLookup
+from repro.errors import ConfigurationError
+
+
+def view(tags):
+    mru = tuple(i for i, t in enumerate(tags) if t is not None)
+    return SetView(tags=tuple(tags), mru_order=mru)
+
+
+class TestBankedLookup:
+    def test_banks_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            BankedLookup(8, banks=3)
+        with pytest.raises(ConfigurationError):
+            BankedLookup(4, banks=0)
+
+    def test_hit_probes_by_group(self):
+        scheme = BankedLookup(8, banks=2)
+        tags = list(range(100, 108))
+        v = view(tags)
+        for frame, tag in enumerate(tags):
+            assert scheme.lookup(v, tag).probes == frame // 2 + 1
+
+    def test_miss_probes(self):
+        scheme = BankedLookup(8, banks=2)
+        assert scheme.lookup(view(list(range(8))), 99).probes == 4
+
+    def test_b_equals_one_is_naive(self):
+        tags = [10, 20, 30, 40]
+        v = view(tags)
+        banked = BankedLookup(4, banks=1)
+        naive = NaiveLookup(4)
+        for tag in tags + [99]:
+            assert banked.lookup(v, tag) == naive.lookup(v, tag)
+
+    def test_b_equals_a_is_traditional(self):
+        tags = [10, 20, 30, 40]
+        v = view(tags)
+        banked = BankedLookup(4, banks=4)
+        traditional = TraditionalLookup(4)
+        for tag in tags + [99]:
+            assert banked.lookup(v, tag) == traditional.lookup(v, tag)
+
+    @given(
+        banks=st.sampled_from([1, 2, 4, 8]),
+        tag=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=100)
+    def test_agreement_with_ground_truth(self, banks, tag):
+        tags = tuple((tag + offset) % 2**16 for offset in (0, 3, 7, 11, 13, 17, 23, 29))
+        v = view(list(tags))
+        outcome = BankedLookup(8, banks=banks).lookup(v, tag)
+        assert outcome.hit == (v.find(tag) is not None)
+        assert outcome.frame == v.find(tag)
+
+
+class TestExpectedProbes:
+    def test_interpolates_between_naive_and_traditional(self):
+        # b=1: (a+1)/2 hits, a misses. b=a: 1 and 1.
+        assert expected_banked_hit_probes(8, 1) == 4.5
+        assert expected_banked_miss_probes(8, 1) == 8.0
+        assert expected_banked_hit_probes(8, 8) == 1.0
+        assert expected_banked_miss_probes(8, 8) == 1.0
+        assert expected_banked_hit_probes(8, 2) == 2.5
+        assert expected_banked_miss_probes(8, 2) == 4.0
+
+    def test_monotone_in_banks(self):
+        values = [expected_banked_miss_probes(16, b) for b in (1, 2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)

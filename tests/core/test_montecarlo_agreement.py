@@ -1,0 +1,154 @@
+"""Monte Carlo agreement between schemes and the Table 1 closed forms.
+
+The analytic module predicts expected probes under two assumptions:
+uniform-random hit positions, and independent uniform partial fields.
+These tests *construct* those conditions (full sets of uniform-random
+t-bit tags, uniformly chosen hit targets) and check that the measured
+averages of the actual scheme implementations converge to the
+formulas — the strongest possible consistency check between
+``repro.core.analysis`` and the probe-counting code.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analysis import (
+    expected_mru_hit_probes,
+    expected_naive_hit_probes,
+    expected_partial_hit_probes,
+    expected_partial_miss_probes,
+)
+from repro.core.banked import BankedLookup, expected_banked_hit_probes
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.core.probes import SetView
+
+TRIALS = 4000
+
+
+def random_full_view(rng, associativity, tag_bits=16):
+    tags = rng.sample(range(2**tag_bits), associativity)
+    order = list(range(associativity))
+    rng.shuffle(order)
+    return SetView(tags=tuple(tags), mru_order=tuple(order))
+
+
+def fresh_tag(rng, view, tag_bits=16):
+    while True:
+        tag = rng.randrange(2**tag_bits)
+        if tag not in view.tags:
+            return tag
+
+
+class TestHitFormulas:
+    @pytest.mark.parametrize("associativity", [2, 4, 8])
+    def test_naive_uniform_hits(self, associativity):
+        rng = random.Random(11)
+        scheme = NaiveLookup(associativity)
+        total = 0
+        for _ in range(TRIALS):
+            view = random_full_view(rng, associativity)
+            target = view.tags[rng.randrange(associativity)]
+            total += scheme.lookup(view, target).probes
+        measured = total / TRIALS
+        expected = expected_naive_hit_probes(associativity)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize("associativity,banks", [(8, 2), (8, 4), (16, 4)])
+    def test_banked_uniform_hits(self, associativity, banks):
+        rng = random.Random(12)
+        scheme = BankedLookup(associativity, banks=banks)
+        total = 0
+        for _ in range(TRIALS):
+            view = random_full_view(rng, associativity)
+            target = view.tags[rng.randrange(associativity)]
+            total += scheme.lookup(view, target).probes
+        measured = total / TRIALS
+        expected = expected_banked_hit_probes(associativity, banks)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_mru_with_controlled_distance_distribution(self):
+        # Force hits at distance d with probability f_d and check the
+        # 1 + sum(d * f_d) formula.
+        rng = random.Random(13)
+        associativity = 4
+        distribution = [0.6, 0.2, 0.15, 0.05]
+        scheme = MRULookup(associativity)
+        total = 0
+        for _ in range(TRIALS):
+            view = random_full_view(rng, associativity)
+            roll, cumulative, distance = rng.random(), 0.0, 1
+            for index, probability in enumerate(distribution):
+                cumulative += probability
+                if roll < cumulative:
+                    distance = index + 1
+                    break
+            target = view.tags[view.mru_order[distance - 1]]
+            total += scheme.lookup(view, target).probes
+        measured = total / TRIALS
+        expected = expected_mru_hit_probes(distribution)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+
+class TestPartialFormulas:
+    @pytest.mark.parametrize(
+        "associativity,subsets,tag_bits",
+        [(4, 1, 16), (8, 2, 16), (8, 1, 32), (16, 4, 16)],
+    )
+    def test_partial_uniform_hits(self, associativity, subsets, tag_bits):
+        rng = random.Random(14)
+        scheme = PartialCompareLookup(
+            associativity, tag_bits=tag_bits, subsets=subsets
+        )
+        total = 0
+        for _ in range(TRIALS):
+            view = random_full_view(rng, associativity, tag_bits)
+            target = view.tags[rng.randrange(associativity)]
+            total += scheme.lookup(view, target).probes
+        measured = total / TRIALS
+        expected = expected_partial_hit_probes(
+            associativity, scheme.partial_bits, subsets
+        )
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "associativity,subsets,tag_bits",
+        [(4, 1, 16), (8, 2, 16), (16, 4, 16)],
+    )
+    def test_partial_uniform_misses(self, associativity, subsets, tag_bits):
+        rng = random.Random(15)
+        scheme = PartialCompareLookup(
+            associativity, tag_bits=tag_bits, subsets=subsets
+        )
+        total = 0
+        for _ in range(TRIALS):
+            view = random_full_view(rng, associativity, tag_bits)
+            total += scheme.lookup(view, fresh_tag(rng, view, tag_bits)).probes
+        measured = total / TRIALS
+        expected = expected_partial_miss_probes(
+            associativity, scheme.partial_bits, subsets
+        )
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_transform_choice_irrelevant_for_uniform_tags(self):
+        # With already-uniform tags, every transform gives the same
+        # expected false-match rate: the transforms only matter for
+        # structured (real) tags.
+        rng = random.Random(16)
+        totals = {}
+        for transform in ("none", "xor", "improved"):
+            scheme = PartialCompareLookup(
+                4, tag_bits=16, transform=transform
+            )
+            rng_local = random.Random(17)
+            total = 0
+            for _ in range(TRIALS):
+                view = random_full_view(rng_local, 4)
+                total += scheme.lookup(
+                    view, fresh_tag(rng_local, view)
+                ).probes
+            totals[transform] = total / TRIALS
+        values = list(totals.values())
+        assert max(values) - min(values) < 0.05

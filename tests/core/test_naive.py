@@ -1,0 +1,66 @@
+"""Tests for the naive serial lookup (paper Figure 1b)."""
+
+import pytest
+
+from repro.core.naive import NaiveLookup
+from repro.core.probes import SetView
+from repro.errors import ConfigurationError
+
+
+def view(tags, mru=None):
+    if mru is None:
+        mru = tuple(i for i, t in enumerate(tags) if t is not None)
+    return SetView(tags=tuple(tags), mru_order=tuple(mru))
+
+
+class TestNaiveLookup:
+    def test_hit_probes_equal_frame_position_plus_one(self):
+        scheme = NaiveLookup(4)
+        v = view([10, 20, 30, 40])
+        for frame, tag in enumerate([10, 20, 30, 40]):
+            outcome = scheme.lookup(v, tag)
+            assert outcome.hit
+            assert outcome.frame == frame
+            assert outcome.probes == frame + 1
+
+    def test_miss_probes_all_frames(self):
+        scheme = NaiveLookup(4)
+        outcome = scheme.lookup(view([10, 20, 30, 40]), 99)
+        assert not outcome.hit
+        assert outcome.probes == 4
+
+    def test_miss_on_partially_filled_set_still_scans_all(self):
+        # A probe reads the tag memory whether or not the frame is
+        # valid; the hardware cannot stop early on a miss.
+        scheme = NaiveLookup(4)
+        outcome = scheme.lookup(view([10, None, None, None]), 99)
+        assert outcome.probes == 4
+
+    def test_hit_skips_over_invalid_frames(self):
+        scheme = NaiveLookup(4)
+        outcome = scheme.lookup(view([None, None, 30, None]), 30)
+        assert outcome.hit
+        assert outcome.frame == 2
+        assert outcome.probes == 3
+
+    def test_associativity_one(self):
+        scheme = NaiveLookup(1)
+        assert scheme.lookup(view([5]), 5).probes == 1
+        assert scheme.lookup(view([5]), 6).probes == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            NaiveLookup(3)
+
+    def test_rejects_mismatched_view(self):
+        scheme = NaiveLookup(4)
+        with pytest.raises(ConfigurationError):
+            scheme.lookup(view([1, 2]), 1)
+
+    def test_average_hit_probes_over_uniform_positions(self):
+        # (a-1)/2 + 1 for uniformly distributed hit positions.
+        scheme = NaiveLookup(8)
+        tags = list(range(100, 108))
+        v = view(tags)
+        total = sum(scheme.lookup(v, t).probes for t in tags)
+        assert total / 8 == pytest.approx((8 - 1) / 2 + 1)

@@ -1,0 +1,165 @@
+"""Tests for the partial-compare lookup (§2.2)."""
+
+import pytest
+
+from repro.core.partial import PartialCompareLookup
+from repro.core.probes import SetView
+from repro.core.transforms import IdentityTransform
+from repro.errors import ConfigurationError
+
+
+def view(tags, mru=None):
+    if mru is None:
+        mru = tuple(i for i, t in enumerate(tags) if t is not None)
+    return SetView(tags=tuple(tags), mru_order=tuple(mru))
+
+
+def identity_scheme(a, tag_bits=16, subsets=1, k=None):
+    return PartialCompareLookup(
+        a, tag_bits=tag_bits, subsets=subsets, partial_bits=k,
+        transform=IdentityTransform(tag_bits, k if k else tag_bits * subsets // a),
+    )
+
+
+class TestConstruction:
+    def test_default_partial_width(self):
+        assert PartialCompareLookup(4, tag_bits=16).partial_bits == 4
+        assert PartialCompareLookup(8, tag_bits=16, subsets=2).partial_bits == 4
+        assert PartialCompareLookup(8, tag_bits=32).partial_bits == 4
+
+    def test_rejects_bad_subsets(self):
+        with pytest.raises(ConfigurationError):
+            PartialCompareLookup(4, subsets=3)
+        with pytest.raises(ConfigurationError):
+            PartialCompareLookup(4, subsets=8)
+
+    def test_rejects_width_overflow(self):
+        # 16 tags sharing a 16-bit memory: k=1 works, k=2 does not.
+        PartialCompareLookup(16, tag_bits=16, partial_bits=1)
+        with pytest.raises(ConfigurationError):
+            PartialCompareLookup(16, tag_bits=16, partial_bits=2)
+
+    def test_rejects_zero_width(self):
+        # 32 tags cannot each get a field of a 16-bit tag.
+        with pytest.raises(ConfigurationError):
+            PartialCompareLookup(32, tag_bits=16)
+
+    def test_transform_by_name(self):
+        scheme = PartialCompareLookup(4, tag_bits=16, transform="improved")
+        assert scheme.transform.name == "improved"
+
+    def test_default_transform_is_xor(self):
+        assert PartialCompareLookup(4, tag_bits=16).transform.name == "xor"
+
+    def test_transform_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartialCompareLookup(
+                4, tag_bits=16, transform=IdentityTransform(16, 8)
+            )
+
+
+class TestProbeCounting:
+    def test_hit_with_no_false_matches_costs_two(self):
+        # Tags chosen so no stored tag shares any compared field.
+        scheme = identity_scheme(4, k=4)
+        # position i compares field i: make field i distinct across tags.
+        tags = [0x1111, 0x2222, 0x3333, 0x4444]
+        v = view(tags)
+        for tag in tags:
+            outcome = scheme.lookup(v, tag)
+            assert outcome.hit
+            assert outcome.probes == 2
+
+    def test_miss_with_no_false_matches_costs_one(self):
+        scheme = identity_scheme(4, k=4)
+        v = view([0x1111, 0x2222, 0x3333, 0x4444])
+        outcome = scheme.lookup(v, 0x5555)
+        assert not outcome.hit
+        assert outcome.probes == 1
+
+    def test_false_match_costs_extra_probe(self):
+        scheme = identity_scheme(4, k=4)
+        # Frame 0 compares field 0. Stored 0xAAA7 shares field 0 with
+        # incoming 0x1117 -> one false match before the true hit in
+        # frame 2 (field 2 of 0x1117 is 1).
+        tags = [0xAAA7, 0x2222, 0x1117, 0x4444]
+        v = view(tags)
+        outcome = scheme.lookup(v, 0x1117)
+        assert outcome.hit
+        assert outcome.frame == 2
+        # 1 partial probe + false match at frame 0 + true match.
+        assert outcome.probes == 3
+
+    def test_miss_counts_all_false_matches(self):
+        scheme = identity_scheme(4, k=4)
+        # Incoming 0x7777: frame 0 compares field0 (7), frame 1 field1,
+        # frame 2 field2, frame 3 field3. Make frames 1 and 3 match.
+        tags = [0x1111, 0x2272, 0x3333, 0x7444]
+        outcome = scheme.lookup(view(tags), 0x7777)
+        assert not outcome.hit
+        assert outcome.probes == 1 + 2
+
+    def test_invalid_frames_never_partially_match(self):
+        scheme = identity_scheme(4, k=4)
+        v = view([None, None, None, None], mru=())
+        outcome = scheme.lookup(v, 0x1234)
+        assert not outcome.hit
+        assert outcome.probes == 1
+
+    def test_subsets_processed_in_series(self):
+        scheme = identity_scheme(8, subsets=2, k=4)
+        # Hit in the second subset (frames 4-7); first subset has no
+        # partial matches: probes = 1 (subset 0) + 1 (subset 1) + 1.
+        tags = [0x1111, 0x2222, 0x3333, 0x4444,
+                0x5555, 0x6666, 0x7777, 0x8888]
+        outcome = scheme.lookup(view(tags), 0x6666)
+        assert outcome.hit
+        assert outcome.frame == 5
+        assert outcome.probes == 3
+
+    def test_hit_in_first_subset_skips_second(self):
+        scheme = identity_scheme(8, subsets=2, k=4)
+        tags = [0x1111, 0x2222, 0x3333, 0x4444,
+                0x5555, 0x6666, 0x7777, 0x8888]
+        outcome = scheme.lookup(view(tags), 0x2222)
+        assert outcome.probes == 2
+
+    def test_miss_probes_at_least_subsets(self):
+        scheme = identity_scheme(8, subsets=2, k=4)
+        tags = [0x1111, 0x2222, 0x3333, 0x4444,
+                0x5555, 0x6666, 0x7777, 0x8888]
+        outcome = scheme.lookup(view(tags), 0x9999)
+        assert not outcome.hit
+        assert outcome.probes == 2
+
+    def test_full_width_partial_is_naive_like(self):
+        # k = t (one tag per subset): step one compares whole tags, so
+        # no step-two probes; s = a behaves like the naive scheme.
+        scheme = identity_scheme(4, subsets=4, k=16)
+        tags = [0x1111, 0x2222, 0x3333, 0x4444]
+        v = view(tags)
+        for frame, tag in enumerate(tags):
+            assert scheme.lookup(v, tag).probes == frame + 1
+        assert scheme.lookup(v, 0x9999).probes == 4
+
+    def test_false_matches_counter(self):
+        scheme = identity_scheme(4, k=4)
+        tags = [0x7771, 0x2072, 0x3733, 0x7444]
+        # Incoming 0x7777 partially matches frames 3 (field3=7) but not
+        # 0 (field0: 1 != 7), not 1 (field1: 7 == 7!) ... compute:
+        # frame0 field0: 1 vs 7 no; frame1 field1: 7 vs 7 yes;
+        # frame2 field2: 7 vs 7 yes; frame3 field3: 7 vs 7 yes.
+        assert scheme.false_matches(view(tags), 0x7777) == 3
+
+    def test_wider_tags_reduce_false_matches_statistically(self):
+        import random
+        rng = random.Random(7)
+        narrow = identity_scheme(4, tag_bits=16, k=4)
+        wide = identity_scheme(4, tag_bits=32, k=8)
+        narrow_fm = wide_fm = 0
+        for _ in range(300):
+            tags16 = [rng.randrange(2**16) for _ in range(4)]
+            tags32 = [rng.randrange(2**32) for _ in range(4)]
+            narrow_fm += narrow.false_matches(view(tags16), rng.randrange(2**16))
+            wide_fm += wide.false_matches(view(tags32), rng.randrange(2**32))
+        assert wide_fm < narrow_fm

@@ -1,0 +1,136 @@
+"""Property tests: every scheme agrees with ground truth on hit/miss,
+identifies the same frame, and respects its probe bounds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.core.probes import SetView
+from repro.core.traditional import TraditionalLookup
+
+
+@st.composite
+def set_views(draw, associativity=4, tag_bits=16):
+    """Random set states: some frames invalid, distinct tags, and a
+    consistent MRU order over the valid frames."""
+    tags = []
+    for _ in range(associativity):
+        if draw(st.booleans()):
+            tags.append(None)
+        else:
+            tags.append(draw(st.integers(0, 2**tag_bits - 1)))
+    # Enforce within-set tag uniqueness (a cache invariant).
+    seen = set()
+    for index, tag in enumerate(tags):
+        if tag is None:
+            continue
+        while tag in seen:
+            tag = (tag + 1) % 2**tag_bits
+        seen.add(tag)
+        tags[index] = tag
+    valid = [i for i, t in enumerate(tags) if t is not None]
+    mru = draw(st.permutations(valid))
+    return SetView(tags=tuple(tags), mru_order=tuple(mru))
+
+
+def schemes_for(associativity):
+    from repro.core.banked import BankedLookup
+
+    built = [
+        TraditionalLookup(associativity),
+        NaiveLookup(associativity),
+        MRULookup(associativity),
+        MRULookup(associativity, list_length=1),
+        BankedLookup(associativity, banks=min(2, associativity)),
+    ]
+    for transform in ("none", "xor", "improved", "swap"):
+        built.append(
+            PartialCompareLookup(associativity, tag_bits=16, transform=transform)
+        )
+    if associativity >= 2:
+        built.append(
+            PartialCompareLookup(associativity, tag_bits=16, subsets=2)
+        )
+    return built
+
+
+@given(view=set_views(4), tag=st.integers(0, 2**16 - 1))
+@settings(max_examples=300)
+def test_all_schemes_agree_with_ground_truth_4way(view, tag):
+    expected = view.find(tag)
+    for scheme in schemes_for(4):
+        outcome = scheme.lookup(view, tag)
+        assert outcome.hit == (expected is not None), scheme
+        assert outcome.frame == expected, scheme
+
+
+@given(view=set_views(8), tag=st.integers(0, 2**16 - 1))
+@settings(max_examples=150)
+def test_all_schemes_agree_with_ground_truth_8way(view, tag):
+    expected = view.find(tag)
+    for scheme in schemes_for(8):
+        outcome = scheme.lookup(view, tag)
+        assert outcome.hit == (expected is not None), scheme
+        assert outcome.frame == expected, scheme
+
+
+@given(view=set_views(4), tag=st.integers(0, 2**16 - 1))
+@settings(max_examples=300)
+def test_probe_bounds_4way(view, tag):
+    a = 4
+    assert TraditionalLookup(a).lookup(view, tag).probes == 1
+
+    naive = NaiveLookup(a).lookup(view, tag)
+    assert 1 <= naive.probes <= a
+
+    mru = MRULookup(a).lookup(view, tag)
+    assert 2 <= mru.probes <= a + 1
+    if not mru.hit:
+        assert mru.probes == a + 1
+    if not naive.hit:
+        assert naive.probes == a
+
+    partial = PartialCompareLookup(a, tag_bits=16).lookup(view, tag)
+    # 1 partial probe, then at most one full compare per valid frame.
+    valid = sum(1 for t in view.tags if t is not None)
+    assert 1 <= partial.probes <= 1 + valid
+    if partial.hit:
+        assert partial.probes >= 2
+
+
+@given(view=set_views(8), tag=st.integers(0, 2**16 - 1))
+@settings(max_examples=150)
+def test_partial_subset_probe_bounds_8way(view, tag):
+    scheme = PartialCompareLookup(8, tag_bits=16, subsets=2)
+    outcome = scheme.lookup(view, tag)
+    valid = sum(1 for t in view.tags if t is not None)
+    if outcome.hit:
+        assert 2 <= outcome.probes <= 2 + valid
+    else:
+        assert 2 <= outcome.probes <= 2 + valid
+
+
+@given(view=set_views(4), tag=st.integers(0, 2**16 - 1))
+@settings(max_examples=200)
+def test_mru_full_list_never_slower_than_naive_worst_case(view, tag):
+    # The MRU scheme costs at most one probe more than scanning the
+    # whole set (the ordering lookup).
+    mru = MRULookup(4).lookup(view, tag)
+    assert mru.probes <= 4 + 1
+
+
+@given(view=set_views(4), tag=st.integers(0, 2**16 - 1))
+@settings(max_examples=200)
+def test_reduced_list_probes_at_least_full_list_on_hits(view, tag):
+    full = MRULookup(4).lookup(view, tag)
+    reduced = MRULookup(4, list_length=1).lookup(view, tag)
+    if full.hit:
+        # Distance-1 hits cost the same; deeper hits may cost more
+        # under the reduced list but never less.
+        if full.probes == 2:
+            assert reduced.probes == 2
+        else:
+            assert reduced.probes >= 2

@@ -1,0 +1,41 @@
+"""Tests for the traditional parallel lookup (paper Figure 1a)."""
+
+import pytest
+
+from repro.core.probes import SetView
+from repro.core.traditional import TraditionalLookup
+from repro.errors import ConfigurationError
+
+
+class TestTraditionalLookup:
+    def test_hit_is_one_probe(self):
+        scheme = TraditionalLookup(4)
+        view = SetView(tags=(1, 2, 3, 4), mru_order=(0, 1, 2, 3))
+        for tag in (1, 2, 3, 4):
+            outcome = scheme.lookup(view, tag)
+            assert outcome.hit
+            assert outcome.probes == 1
+
+    def test_miss_is_one_probe(self):
+        scheme = TraditionalLookup(4)
+        view = SetView(tags=(1, 2, 3, 4), mru_order=(0, 1, 2, 3))
+        outcome = scheme.lookup(view, 9)
+        assert not outcome.hit
+        assert outcome.probes == 1
+
+    def test_identifies_matching_frame(self):
+        scheme = TraditionalLookup(2)
+        view = SetView(tags=(7, 9), mru_order=(1, 0))
+        assert scheme.lookup(view, 9).frame == 1
+
+    def test_empty_set(self):
+        scheme = TraditionalLookup(2)
+        view = SetView(tags=(None, None), mru_order=())
+        outcome = scheme.lookup(view, 0)
+        assert not outcome.hit
+        assert outcome.probes == 1
+
+    def test_view_size_checked(self):
+        scheme = TraditionalLookup(8)
+        with pytest.raises(ConfigurationError):
+            scheme.lookup(SetView(tags=(1,), mru_order=(0,)), 1)

@@ -1,0 +1,171 @@
+"""Tests for the tag transformations of Section 2.2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transforms import (
+    BitSwapTransform,
+    IdentityTransform,
+    ImprovedXorTransform,
+    TagTransform,
+    XorLowTransform,
+    available_transforms,
+    join_fields,
+    make_transform,
+    split_fields,
+)
+from repro.errors import ConfigurationError
+
+ALL_TRANSFORMS = [
+    IdentityTransform,
+    XorLowTransform,
+    ImprovedXorTransform,
+    BitSwapTransform,
+]
+
+
+class TestFieldSplitting:
+    def test_split_even(self):
+        assert split_fields(0xABCD, 16, 4) == [0xD, 0xC, 0xB, 0xA]
+
+    def test_split_ragged(self):
+        # 10-bit tag, 4-bit fields: fields of 4, 4, 2 bits.
+        assert split_fields(0b11_0101_1001, 10, 4) == [0b1001, 0b0101, 0b11]
+
+    def test_join_inverts_split(self):
+        for tag in (0, 1, 0x1234, 0xFFFF):
+            fields = split_fields(tag, 16, 4)
+            assert join_fields(fields, 16, 4) == tag
+
+    def test_split_rejects_oversized_tag(self):
+        with pytest.raises(ValueError):
+            split_fields(1 << 16, 16, 4)
+
+    @given(tag=st.integers(0, 2**24 - 1), field_bits=st.sampled_from([2, 3, 4, 8]))
+    def test_split_join_roundtrip(self, tag, field_bits):
+        fields = split_fields(tag, 24, field_bits)
+        assert join_fields(fields, 24, field_bits) == tag
+
+
+class TestTransformValidation:
+    @pytest.mark.parametrize("cls", ALL_TRANSFORMS)
+    def test_rejects_nonpositive_widths(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(0, 4)
+        with pytest.raises(ConfigurationError):
+            cls(16, 0)
+
+    @pytest.mark.parametrize("cls", ALL_TRANSFORMS)
+    def test_rejects_field_wider_than_tag(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(4, 8)
+
+    def test_make_transform_by_name(self):
+        for name in available_transforms():
+            transform = make_transform(name, 16, 4)
+            assert isinstance(transform, TagTransform)
+            assert transform.name == name
+
+    def test_make_transform_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_transform("md5", 16, 4)
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("cls", ALL_TRANSFORMS)
+    def test_exhaustive_bijection_8bit(self, cls):
+        transform = cls(8, 2)
+        images = {transform.apply(tag) for tag in range(256)}
+        assert len(images) == 256
+
+    @pytest.mark.parametrize("cls", ALL_TRANSFORMS)
+    @given(tag=st.integers(0, 2**16 - 1))
+    @settings(max_examples=200)
+    def test_invert_recovers_tag(self, cls, tag):
+        transform = cls(16, 4)
+        assert transform.invert(transform.apply(tag)) == tag
+
+    @pytest.mark.parametrize("cls", ALL_TRANSFORMS)
+    @given(tag=st.integers(0, 2**17 - 1))
+    @settings(max_examples=100)
+    def test_invert_recovers_tag_ragged(self, cls, tag):
+        # 17-bit tags with 4-bit fields: a 1-bit top field.
+        transform = cls(17, 4)
+        assert transform.invert(transform.apply(tag)) == tag
+
+    @given(tag=st.integers(0, 2**16 - 1))
+    @settings(max_examples=100)
+    def test_xor_is_self_inverse(self, tag):
+        transform = XorLowTransform(16, 4)
+        assert transform.apply(transform.apply(tag)) == tag
+
+    def test_improved_is_not_self_inverse(self):
+        transform = ImprovedXorTransform(16, 4)
+        # The paper: "the new transformation is not its own inverse".
+        counterexamples = [
+            t for t in range(2**16) if transform.apply(transform.apply(t)) != t
+        ]
+        assert counterexamples
+
+
+class TestTransformSemantics:
+    def test_identity_passes_through(self):
+        transform = IdentityTransform(16, 4)
+        assert transform.apply(0xBEEF) == 0xBEEF
+
+    def test_xor_low_folds_field0_into_others(self):
+        transform = XorLowTransform(16, 4)
+        # tag fields (low to high): D, C, B, A -> D, C^D, B^D, A^D
+        assert transform.apply(0xABCD) == (
+            (0xA ^ 0xD) << 12 | (0xB ^ 0xD) << 8 | (0xC ^ 0xD) << 4 | 0xD
+        )
+
+    def test_improved_structure(self):
+        transform = ImprovedXorTransform(16, 4)
+        # fields f0..f3 -> f0, f1^f0, f2^f0^f1, f3^f0^f1
+        f0, f1, f2, f3 = 0xD, 0xC, 0xB, 0xA
+        expected = (
+            (f3 ^ f0 ^ f1) << 12 | (f2 ^ f0 ^ f1) << 8 | (f1 ^ f0) << 4 | f0
+        )
+        assert transform.apply(0xABCD) == expected
+
+    def test_improved_field0_preserved(self):
+        transform = ImprovedXorTransform(16, 4)
+        for tag in (0x0001, 0xFFF7, 0x1234):
+            assert transform.apply(tag) & 0xF == tag & 0xF
+
+    def test_compare_slice_reads_transformed_field(self):
+        transform = XorLowTransform(16, 4)
+        tag = 0xABCD
+        stored = transform.apply(tag)
+        for position in range(4):
+            expected = (stored >> (4 * position)) & 0xF
+            assert transform.compare_slice(tag, position) == expected
+
+    def test_compare_slice_out_of_range(self):
+        transform = IdentityTransform(16, 4)
+        with pytest.raises(ConfigurationError):
+            transform.compare_slice(0, 4)
+
+    def test_swap_always_compares_low_field(self):
+        transform = BitSwapTransform(16, 4)
+        tag = 0xABCD
+        for position in range(4):
+            assert transform.compare_slice(tag, position) == 0xD
+
+    def test_swap_stores_tags_unmodified(self):
+        transform = BitSwapTransform(16, 4)
+        assert transform.apply(0x1234) == 0x1234
+
+    @pytest.mark.parametrize("cls", ALL_TRANSFORMS)
+    def test_apply_stays_within_tag_width(self, cls):
+        transform = cls(16, 4)
+        for tag in (0, 0xFFFF, 0x8421, 0x7001):
+            assert 0 <= transform.apply(tag) < 2**16
+            assert 0 <= transform.invert(tag) < 2**16
+
+    def test_num_fields(self):
+        assert IdentityTransform(16, 4).num_fields == 4
+        assert IdentityTransform(17, 4).num_fields == 5
+        assert IdentityTransform(16, 16).num_fields == 1

@@ -1,0 +1,117 @@
+"""GF(2) linear-algebra view of the tag transformations.
+
+Paper footnote 8: "Our hash function is a linear transformation T from
+GF(2) to itself, given by a lower-triangular matrix with 1's on the
+diagonal. It can be shown using Gaussian elimination that T is
+invertible, and its inverse is lower-triangular as well."
+
+These tests construct each transform's matrix explicitly (by probing
+basis vectors) and verify the footnote's algebra.
+"""
+
+import pytest
+
+from repro.core.transforms import (
+    ImprovedXorTransform,
+    XorLowTransform,
+)
+
+TAG_BITS = 16
+FIELD_BITS = 4
+
+
+def matrix_of(transform, bits=TAG_BITS):
+    """Column ``j`` of T is T(e_j); rows as bit-lists (LSB = index 0)."""
+    columns = []
+    for j in range(bits):
+        image = transform.apply(1 << j)
+        columns.append([(image >> i) & 1 for i in range(bits)])
+    # rows[i][j] = bit i of T(e_j)
+    return [[columns[j][i] for j in range(bits)] for i in range(bits)]
+
+
+def is_linear(transform, bits=TAG_BITS, samples=200):
+    """T(a ^ b) == T(a) ^ T(b) on random pairs (0 maps to 0)."""
+    import random
+
+    rng = random.Random(5)
+    if transform.apply(0) != 0:
+        return False
+    for _ in range(samples):
+        a = rng.randrange(1 << bits)
+        b = rng.randrange(1 << bits)
+        if transform.apply(a ^ b) != transform.apply(a) ^ transform.apply(b):
+            return False
+    return True
+
+
+def gf2_rank(matrix):
+    """Rank over GF(2) via Gaussian elimination."""
+    rows = [int("".join(str(b) for b in reversed(row)), 2) for row in matrix]
+    rank = 0
+    for bit in range(len(matrix)):
+        pivot = None
+        for index in range(rank, len(rows)):
+            if rows[index] >> bit & 1:
+                pivot = index
+                break
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        for index in range(len(rows)):
+            if index != rank and rows[index] >> bit & 1:
+                rows[index] ^= rows[rank]
+        rank += 1
+    return rank
+
+
+@pytest.mark.parametrize("cls", [XorLowTransform, ImprovedXorTransform])
+class TestFootnote8:
+    def test_transform_is_gf2_linear(self, cls):
+        assert is_linear(cls(TAG_BITS, FIELD_BITS))
+
+    def test_matrix_full_rank(self, cls):
+        matrix = matrix_of(cls(TAG_BITS, FIELD_BITS))
+        assert gf2_rank(matrix) == TAG_BITS
+
+    def test_unit_diagonal(self, cls):
+        matrix = matrix_of(cls(TAG_BITS, FIELD_BITS))
+        assert all(matrix[i][i] == 1 for i in range(TAG_BITS))
+
+    def test_lower_triangular(self, cls):
+        # "given by a lower-triangular matrix with 1's on the
+        # diagonal": output bit i depends only on input bits <= i...
+        # at field granularity. Both transforms only fold *lower*
+        # fields upward, so above the diagonal, entries are zero.
+        matrix = matrix_of(cls(TAG_BITS, FIELD_BITS))
+        for i in range(TAG_BITS):
+            for j in range(TAG_BITS):
+                # Field of row/column.
+                if j // FIELD_BITS > i // FIELD_BITS:
+                    assert matrix[i][j] == 0, (i, j)
+
+    def test_inverse_matrix_matches_invert(self, cls):
+        import random
+
+        transform = cls(TAG_BITS, FIELD_BITS)
+        rng = random.Random(6)
+        for _ in range(100):
+            tag = rng.randrange(1 << TAG_BITS)
+            assert transform.invert(transform.apply(tag)) == tag
+
+
+class TestSelfInverseStructure:
+    def test_xor_matrix_is_involution(self):
+        # T^2 = I for the simple XOR transform.
+        transform = XorLowTransform(TAG_BITS, FIELD_BITS)
+        for j in range(TAG_BITS):
+            basis = 1 << j
+            assert transform.apply(transform.apply(basis)) == basis
+
+    def test_improved_matrix_is_not_involution(self):
+        transform = ImprovedXorTransform(TAG_BITS, FIELD_BITS)
+        violated = any(
+            transform.apply(transform.apply(1 << j)) != (1 << j)
+            for j in range(TAG_BITS)
+        )
+        assert violated

@@ -1,0 +1,16 @@
+"""Experiment-level fixtures: a shared runner on a tiny workload.
+
+One session-scoped runner means the L1 miss streams are captured once
+and reused by every experiments test.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.trace.synthetic import AtumWorkload
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    workload = AtumWorkload(segments=2, references_per_segment=30_000, seed=11)
+    return ExperimentRunner(workload)

@@ -1,0 +1,46 @@
+"""Tests for the repro-tables CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_analytic_targets(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "150+50x" in out
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_bad_scale(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["table3", "--scale", "7"])
+
+    def test_simulated_target_small_scale(self, capsys):
+        # Smallest legal scale: a single short segment.
+        assert main(["table3", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "4K-16" in out
+
+    def test_save_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        assert main([
+            "table1", "fig4", "--scale", "0.002", "--save", str(out_dir),
+        ]) == 0
+        assert (out_dir / "table1.txt").exists()
+        assert (out_dir / "fig4.txt").exists()
+        assert (out_dir / "fig4.csv").exists()
+        svg = (out_dir / "fig4.svg").read_text()
+        assert svg.startswith("<svg")
+
+    def test_save_figure_panels(self, capsys, tmp_path):
+        out_dir = tmp_path / "panels"
+        assert main(["fig5", "--scale", "0.002", "--save", str(out_dir)]) == 0
+        assert (out_dir / "fig5_left.svg").exists()

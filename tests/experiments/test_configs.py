@@ -1,0 +1,76 @@
+"""Tests for named configurations and the default workload."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import (
+    CacheGeometry,
+    L1_GEOMETRIES,
+    TABLE4_CONFIGS,
+    default_workload,
+    parse_geometry,
+    workload_scale,
+)
+
+
+class TestGeometry:
+    def test_parse(self):
+        geom = parse_geometry("16K-32")
+        assert geom.capacity_bytes == 16 * 1024
+        assert geom.block_size == 32
+
+    def test_label_roundtrip(self):
+        for label in ("4K-16", "64K-32", "256K-64"):
+            assert parse_geometry(label).label == label
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("16K", "16-16", "K-16", "16K-"):
+            with pytest.raises(ConfigurationError):
+                parse_geometry(bad)
+
+    def test_str(self):
+        assert str(CacheGeometry(4096, 16)) == "4K-16"
+
+
+class TestTable4Configs:
+    def test_eight_rows(self):
+        assert len(TABLE4_CONFIGS) == 8
+
+    def test_all_parseable_and_nested(self):
+        for l1, l2 in TABLE4_CONFIGS:
+            g1, g2 = parse_geometry(l1), parse_geometry(l2)
+            assert g2.capacity_bytes > g1.capacity_bytes
+            assert g2.block_size >= g1.block_size
+
+    def test_l1_geometries_have_paper_ratios(self):
+        assert L1_GEOMETRIES["4K-16"] == pytest.approx(0.1181)
+
+
+class TestDefaultWorkload:
+    def test_full_scale_matches_paper_structure(self):
+        wl = default_workload(scale=1.0)
+        assert wl.segments == 23
+        assert wl.references_per_segment == 350_000
+
+    def test_default_scale_keeps_long_segments(self):
+        wl = default_workload(scale=0.125)
+        assert wl.references_per_segment >= 330_000
+        assert wl.segments >= 2
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_workload(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            default_workload(scale=2.0)
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_SCALE", "0.5")
+        assert workload_scale() == 0.5
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_SCALE", "lots")
+        with pytest.raises(ConfigurationError):
+            workload_scale()
+        monkeypatch.setenv("REPRO_WORKLOAD_SCALE", "0")
+        with pytest.raises(ConfigurationError):
+            workload_scale()

@@ -1,0 +1,62 @@
+"""Tests for ASCII rendering helpers."""
+
+from repro.experiments.report import render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "30" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.splitlines()[1] == "="
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_column_alignment(self):
+        text = render_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        lines = text.splitlines()
+        # The value column starts at the same offset in every row.
+        assert lines[2].index("1") == lines[3].index("22")
+
+
+class TestCsv:
+    def test_table_to_csv(self):
+        from repro.experiments.report import table_to_csv
+
+        text = table_to_csv(["a", "b"], [[1, "x,y"], [2.5, "z"]])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == '1,"x,y"'
+        assert lines[2] == "2.5,z"
+
+    def test_series_to_csv(self):
+        from repro.experiments.report import series_to_csv
+
+        text = series_to_csv({"s": {1: 1.5}, "t": {2: 2.5}}, x_label="x")
+        lines = text.splitlines()
+        assert lines[0] == "x,s,t"
+        assert lines[1] == "1,1.5,"
+        assert lines[2] == "2,,2.5"
+
+
+class TestRenderSeries:
+    def test_union_of_x_values(self):
+        text = render_series(
+            {"a": {1: 1.0, 2: 2.0}, "b": {2: 3.0, 4: 4.0}},
+            x_label="x", y_label="y",
+        )
+        assert "1" in text and "4" in text
+        # Missing points render as '-'.
+        assert "-" in text
+
+    def test_header_names(self):
+        text = render_series({"s1": {1: 1.0}}, x_label="assoc", y_label="p")
+        assert "assoc" in text
+        assert "s1" in text

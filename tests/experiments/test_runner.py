@@ -1,0 +1,113 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.configs import parse_geometry
+
+
+class TestMissStreamCaching:
+    def test_stream_cached_per_geometry(self, runner):
+        a = runner.miss_stream(parse_geometry("4K-16"))
+        b = runner.miss_stream(parse_geometry("4K-16"))
+        assert a is b
+
+    def test_distinct_geometries_distinct_streams(self, runner):
+        a = runner.miss_stream(parse_geometry("4K-16"))
+        b = runner.miss_stream(parse_geometry("16K-16"))
+        assert a is not b
+
+    def test_l1_miss_ratio_available(self, runner):
+        ratio = runner.l1_miss_ratio(parse_geometry("4K-16"))
+        assert 0.0 < ratio < 1.0
+
+
+class TestRun:
+    def test_basic_result_fields(self, runner):
+        result = runner.run("16K-16", "64K-32", 4)
+        assert result.associativity == 4
+        assert 0.0 < result.local_miss_ratio < 1.0
+        assert 0.0 < result.fraction_writebacks < 1.0
+        assert 0.0 < result.global_miss_ratio < result.l1_miss_ratio
+
+    def test_default_schemes_present(self, runner):
+        result = runner.run("16K-16", "64K-32", 4)
+        for name in ("traditional", "naive", "mru", "partial"):
+            assert name in result.schemes
+
+    def test_traditional_always_one_probe(self, runner):
+        result = runner.run("16K-16", "64K-32", 4)
+        trad = result.schemes["traditional"]
+        assert trad.misses == pytest.approx(1.0)
+        assert trad.readin_hits == pytest.approx(1.0)
+
+    def test_naive_miss_probes_equal_associativity(self, runner):
+        for a in (2, 4):
+            result = runner.run("16K-16", "64K-32", a)
+            assert result.schemes["naive"].misses == pytest.approx(a)
+            assert result.schemes["mru"].misses == pytest.approx(a + 1)
+
+    def test_mru_list_lengths(self, runner):
+        result = runner.run("16K-16", "64K-32", 4, mru_list_lengths=(1, 2))
+        assert "mru/m1" in result.schemes
+        assert "mru/m2" in result.schemes
+        # Shorter lists cannot beat the full list on read-in hits.
+        assert result.schemes["mru/m1"].readin_hits >= (
+            result.schemes["mru"].readin_hits
+        )
+
+    def test_transform_variants(self, runner):
+        result = runner.run(
+            "16K-16", "64K-32", 4, transforms=("none", "xor"),
+        )
+        assert "partial/none/t16" in result.schemes
+        assert "partial/xor/t16" in result.schemes
+        # The default 'partial' alias matches the first transform.
+        assert result.schemes["partial"].total == pytest.approx(
+            result.schemes["partial/none/t16"].total
+        )
+
+    def test_extra_tag_widths(self, runner):
+        result = runner.run("16K-16", "64K-32", 4, extra_tag_bits=(32,))
+        assert "partial/xor/t32" in result.schemes
+        # Wider tags cannot increase false matches.
+        assert result.schemes["partial/xor/t32"].misses <= (
+            result.schemes["partial/xor/t16"].misses + 1e-9
+        )
+
+    def test_writeback_optimization_flag(self, runner):
+        optimized = runner.run("16K-16", "64K-32", 4)
+        raw = runner.run("16K-16", "64K-32", 4, writeback_optimization=False)
+        # Without the optimization every scheme pays probes on
+        # write-backs, so totals can only go up.
+        for name in ("naive", "mru", "partial"):
+            assert raw.schemes[name].total >= optimized.schemes[name].total
+
+    def test_mru_distribution_shape(self, runner):
+        result = runner.run("16K-16", "64K-32", 4)
+        dist = result.mru_distribution
+        assert len(dist) == 4
+        assert sum(dist) == pytest.approx(1.0)
+        assert dist[0] == max(dist)
+
+    def test_best_total_excludes_traditional(self, runner):
+        result = runner.run("16K-16", "64K-32", 4)
+        assert result.best_total() in ("naive", "mru", "partial")
+
+    def test_geometry_objects_accepted(self, runner):
+        result = runner.run(
+            parse_geometry("16K-16"), parse_geometry("64K-32"), 2
+        )
+        assert result.l2.label == "64K-32"
+
+
+class TestCrossSchemeConsistency:
+    def test_all_schemes_see_identical_hit_miss_stream(self, runner):
+        # Scheme probe accounting must never disagree about which
+        # accesses hit: identical denominators => consistent averages.
+        result = runner.run("16K-16", "64K-32", 4)
+        # Traditional's total is exactly (readins / all accesses)
+        # because every read-in costs one probe and write-backs cost 0.
+        trad = result.schemes["traditional"]
+        readin_share = 1 - result.fraction_writebacks
+        assert trad.total == pytest.approx(readin_share, abs=1e-9)

@@ -1,0 +1,40 @@
+"""Tests for the repro-sim CLI."""
+
+import pytest
+
+from repro.experiments.simcli import main
+
+
+class TestSimCli:
+    def test_basic_run(self, capsys):
+        assert main([
+            "--l1", "4K-16", "--l2", "64K-32", "--assoc", "2",
+            "--scale", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4K-16 L1" in out
+        assert "traditional" in out
+        assert "best low-cost scheme" in out
+
+    def test_options_threaded_through(self, capsys):
+        assert main([
+            "--l1", "4K-16", "--l2", "64K-32", "--assoc", "4",
+            "--transforms", "none,improved", "--mru-lists", "1,2",
+            "--extra-tag-bits", "32", "--scale", "0.002",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "partial/improved/t16" in out
+        assert "partial/none/t32" in out
+        assert "mru/m1" in out
+
+    def test_no_wb_opt(self, capsys):
+        assert main([
+            "--l1", "4K-16", "--l2", "64K-32", "--assoc", "2",
+            "--scale", "0.002", "--no-wb-opt",
+        ]) == 0
+
+    def test_bad_geometry(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["--l1", "bogus", "--scale", "0.002"])

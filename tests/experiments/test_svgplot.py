@@ -1,0 +1,102 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.svgplot import _nice_ticks, render_svg, save_svg
+
+
+SERIES = {
+    "alpha": {1: 1.0, 2: 2.0, 4: 3.5},
+    "beta": {1: 2.0, 2: 1.5, 4: 4.0},
+}
+
+
+class TestRenderSvg:
+    def test_well_formed_xml(self):
+        document = render_svg(SERIES, title="T", x_label="x", y_label="y")
+        root = ET.fromstring(document)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        document = render_svg(SERIES)
+        assert document.count("<polyline") == 2
+
+    def test_legend_contains_series_names(self):
+        document = render_svg(SERIES)
+        assert "alpha" in document
+        assert "beta" in document
+
+    def test_title_and_labels(self):
+        document = render_svg(SERIES, title="My Chart", x_label="assoc",
+                              y_label="probes")
+        for text in ("My Chart", "assoc", "probes"):
+            assert text in document
+
+    def test_escaping(self):
+        document = render_svg({"a<b": {1: 1.0}}, title="x & y")
+        assert "a&lt;b" in document
+        assert "x &amp; y" in document
+        ET.fromstring(document)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_svg({})
+        with pytest.raises(ConfigurationError):
+            render_svg({"a": {}})
+
+    def test_single_point_series(self):
+        document = render_svg({"solo": {4: 2.0}})
+        ET.fromstring(document)
+
+    def test_negative_values_without_zero_baseline(self):
+        document = render_svg(
+            {"delta": {1: -2.0, 2: 1.0}}, y_from_zero=False
+        )
+        ET.fromstring(document)
+
+    def test_many_series_cycle_palette(self):
+        series = {f"s{i}": {1: float(i), 2: float(i + 1)} for i in range(12)}
+        document = render_svg(series)
+        ET.fromstring(document)
+        assert document.count("<polyline") == 12
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(SERIES, path, title="T")
+        content = path.read_text()
+        assert content.startswith("<svg")
+        ET.fromstring(content)
+
+    def test_figure_series_renders(self):
+        # Integration with the figure data shape (string x keys are
+        # numeric in practice).
+        from repro.experiments.figures import FigureSeries
+
+        figure = FigureSeries(
+            title="f", x_label="a", y_label="p",
+            series={"s": {2: 1.0, 4: 2.0}},
+        )
+        document = render_svg(
+            figure.series, title=figure.title,
+            x_label=figure.x_label, y_label=figure.y_label,
+        )
+        ET.fromstring(document)
+
+
+class TestTicks:
+    def test_cover_range(self):
+        ticks = _nice_ticks(0.0, 9.7)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 9.7
+
+    def test_rounded_steps(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(2.0, 2.0)
+        assert len(ticks) >= 2

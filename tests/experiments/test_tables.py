@@ -1,0 +1,108 @@
+"""Tests for table builders."""
+
+import pytest
+
+from repro.experiments.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+)
+
+
+class TestTable1:
+    def test_matches_paper_values(self):
+        table = build_table1()
+        by_method = {r.method: r for r in table.rows}
+        assert by_method["Naive"].hit_probes == 2.5
+        assert by_method["Naive"].miss_probes == 4.0
+        assert round(by_method["Partial (k=4)"].hit_probes, 2) == 2.09
+        assert by_method["Partial (k=4)"].miss_probes == 1.25
+        assert round(by_method["Partial (k=2)"].hit_probes, 2) == 2.88
+        assert round(by_method["Partial w/Subsets (k=4)"].hit_probes, 2) == 2.72
+        assert by_method["Partial w/Subsets (k=4)"].miss_probes == 2.5
+
+    def test_mru_within_table_range(self):
+        table = build_table1()
+        mru = next(r for r in table.rows if r.method == "MRU")
+        assert 2.0 <= mru.hit_probes <= 5.0
+        assert mru.miss_probes == 5.0
+
+    def test_render(self):
+        text = build_table1().render()
+        assert "Traditional" in text
+        assert "2.5" in text
+
+
+class TestTable2:
+    def test_cells_complete(self):
+        table = build_table2()
+        assert len(table.cells) == 8
+
+    def test_render_contains_symbolic_timings(self):
+        text = build_table2().render()
+        assert "150+50x" in text
+        assert "65+55y" in text
+        assert "42" in text
+
+
+class TestTable3:
+    def test_rows_for_all_l1_geometries(self, runner):
+        table = build_table3(runner)
+        labels = {r.geometry for r in table.rows}
+        assert labels == {"4K-16", "16K-16", "16K-32"}
+
+    def test_miss_ratios_ordered_by_capacity(self, runner):
+        table = build_table3(runner)
+        ratios = {r.geometry: r.measured_miss_ratio for r in table.rows}
+        assert ratios["4K-16"] > ratios["16K-16"]
+        assert ratios["16K-16"] > ratios["16K-32"]
+
+    def test_render(self, runner):
+        text = build_table3(runner).render()
+        assert "cold-start segments" in text
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self, runner):
+        # Two configs x two associativities keeps the test fast while
+        # exercising the full build path.
+        return build_table4(
+            runner,
+            associativities=(2, 4),
+            configs=(("16K-16", "64K-32"), ("4K-16", "64K-16")),
+        )
+
+    def test_row_count(self, table):
+        assert len(table.rows) == 4
+
+    def test_rows_for_filters(self, table):
+        assert len(table.rows_for(2)) == 2
+        assert len(table.rows_for(4)) == 2
+        assert table.rows_for(16) == []
+
+    def test_probe_sanity(self, table):
+        for row in table.rows:
+            a = row.associativity
+            # "Hits" columns count write-backs as zero-probe hits
+            # (paper accounting), so they can dip below one probe.
+            assert 0.0 < row.naive_hits <= a
+            assert 0.0 < row.mru_hits <= a + 1
+            assert row.partial_misses >= 1.0
+            assert 0 < row.global_miss_ratio < row.local_miss_ratio
+
+    def test_best_total_consistent(self, table):
+        for row in table.rows:
+            totals = {
+                "naive": row.naive_total,
+                "mru": row.mru_total,
+                "partial": row.partial_total,
+            }
+            assert totals[row.best_total] == min(totals.values())
+
+    def test_render_marks_best(self, table):
+        text = table.render()
+        assert "*" in text
+        assert "Table 4 (2-way" in text
+        assert "Table 4 (4-way" in text

@@ -1,0 +1,54 @@
+"""Tests for the memory-chip catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.chips import DRAM_CHIPS, SRAM_CHIPS, ChipSpec
+
+
+class TestCatalog:
+    def test_dram_timings_match_paper(self):
+        chip = DRAM_CHIPS["1Mx8"]
+        assert chip.access_ns == 100
+        assert chip.cycle_ns == 190
+        assert chip.page_access_ns == 35
+        assert chip.has_page_mode
+
+    def test_fast_dram_has_no_page_mode(self):
+        assert not DRAM_CHIPS["256Kx8"].has_page_mode
+
+    def test_sram_timings(self):
+        chip = SRAM_CHIPS["1Mx4"]
+        assert chip.access_ns == chip.cycle_ns == 40
+        assert not chip.has_page_mode
+
+
+class TestChipsFor:
+    def test_narrow_deep(self):
+        # 1M 24-bit tags from 1Mx8 chips: 3 packages.
+        assert DRAM_CHIPS["1Mx8"].chips_for(1 << 20, 24) == 3
+
+    def test_wide_shallow(self):
+        # 256K sets of 96 bits from 256Kx8 chips: 12 packages.
+        assert DRAM_CHIPS["256Kx8"].chips_for(1 << 18, 96) == 12
+
+    def test_mixed_width_banks(self):
+        # 96 bits from (16, 8) banks: 6 x 16-bit.
+        assert SRAM_CHIPS["256Kx(16,8)"].chips_for(1 << 18, 96) == 6
+        # 24 bits: one 16 plus one 8.
+        assert SRAM_CHIPS["256Kx(16,8)"].chips_for(1 << 18, 24) == 2
+
+    def test_depth_multiplies(self):
+        assert DRAM_CHIPS["256Kx8"].chips_for(1 << 20, 8) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DRAM_CHIPS["1Mx8"].chips_for(0, 8)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChipSpec("bad", 0, (8,), 10, 20)
+        with pytest.raises(ConfigurationError):
+            ChipSpec("bad", 8, (8,), 10, 5)  # cycle < access
+        with pytest.raises(ConfigurationError):
+            ChipSpec("bad", 8, (), 10, 20)

@@ -1,0 +1,87 @@
+"""Tests that the cost model regenerates Table 2 exactly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.costmodel import (
+    TimingExpression,
+    build_design,
+    table2_designs,
+)
+
+#: The paper's Table 2 bottom half, transcribed.
+PAPER_TABLE2 = {
+    # (design, family): (access, cycle, total packages)
+    ("direct", "dram"): ("136", "230", 18),
+    ("traditional", "dram"): ("132", "190", 42),
+    ("mru", "dram"): ("150+50x", "250+50(x+u)", 22),
+    ("partial", "dram"): ("150+50y", "250+50y", 21),
+    ("direct", "sram"): ("61", "85", 20),
+    ("traditional", "sram"): ("84", "100", 37),
+    ("mru", "sram"): ("65+55x", "75+55(x+u)", 25),
+    ("partial", "sram"): ("65+55y", "75+55y", 24),
+}
+
+
+class TestTable2Exact:
+    @pytest.mark.parametrize("key", sorted(PAPER_TABLE2))
+    def test_access_time(self, key):
+        cost = build_design(*key)
+        assert str(cost.access_time) == PAPER_TABLE2[key][0]
+
+    @pytest.mark.parametrize("key", sorted(PAPER_TABLE2))
+    def test_cycle_time(self, key):
+        cost = build_design(*key)
+        assert str(cost.cycle_time) == PAPER_TABLE2[key][1]
+
+    @pytest.mark.parametrize("key", sorted(PAPER_TABLE2))
+    def test_package_count(self, key):
+        cost = build_design(*key)
+        assert cost.total_packages == PAPER_TABLE2[key][2]
+
+    def test_all_designs_built(self):
+        assert len(table2_designs()) == 8
+
+
+class TestTimingExpression:
+    def test_fixed(self):
+        expr = TimingExpression(100.0)
+        assert str(expr) == "100"
+        assert expr.evaluate() == 100.0
+
+    def test_symbolic(self):
+        expr = TimingExpression(150.0, 50.0, "x")
+        assert str(expr) == "150+50x"
+        assert expr.evaluate(2.0) == 250.0
+
+    def test_negative_probes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingExpression(1.0, 1.0, "x").evaluate(-1)
+
+
+class TestModelStructure:
+    def test_unknown_design(self):
+        with pytest.raises(ConfigurationError):
+            build_design("pseudo", "dram")
+        with pytest.raises(ConfigurationError):
+            build_design("direct", "flash")
+
+    def test_serial_designs_cheaper_than_traditional(self):
+        # The paper's cost claim: MRU/partial need ~half the packages.
+        for family in ("dram", "sram"):
+            traditional = build_design("traditional", family).total_packages
+            for design in ("mru", "partial"):
+                assert build_design(design, family).total_packages < traditional
+
+    def test_serial_access_slower_at_realistic_probe_counts(self):
+        # The paper's speed caveat: at 2+ probes the serial designs are
+        # slower than the traditional implementation.
+        traditional = build_design("traditional", "dram")
+        mru = build_design("mru", "dram")
+        assert mru.access_time.evaluate(2.0) > traditional.access_time.evaluate()
+
+    def test_serial_designs_use_direct_mapped_chips(self):
+        for family in ("dram", "sram"):
+            direct = build_design("direct", family)
+            for design in ("mru", "partial"):
+                assert build_design(design, family).chip == direct.chip

@@ -1,0 +1,83 @@
+"""Tests for the effective-access-time model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.effective import (
+    crossover_miss_penalty_ns,
+    effective_access_ns,
+    tag_path_ns,
+)
+
+
+class TestTagPath:
+    def test_direct_ignores_probes(self):
+        assert tag_path_ns("direct", "dram", 1.0) == 136.0
+        assert tag_path_ns("direct", "dram", 5.0) == 136.0
+
+    def test_serial_pays_per_extra_probe(self):
+        # DRAM MRU: 150 + 50x with x = probes - 1.
+        assert tag_path_ns("mru", "dram", 1.0) == 150.0
+        assert tag_path_ns("mru", "dram", 3.0) == 250.0
+
+    def test_first_probe_floor(self):
+        assert tag_path_ns("partial", "dram", 0.5) == 150.0
+
+    def test_negative_probes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tag_path_ns("mru", "dram", -1.0)
+
+
+class TestEffectiveAccess:
+    def test_zero_penalty_equals_tag_path(self):
+        assert effective_access_ns("mru", "dram", 2.0, 0.2, 0.0) == 200.0
+
+    def test_penalty_weighted_by_miss_ratio(self):
+        value = effective_access_ns("direct", "dram", 1.0, 0.25, 400.0)
+        assert value == 136.0 + 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_access_ns("direct", "dram", 1.0, 1.5, 10.0)
+        with pytest.raises(ConfigurationError):
+            effective_access_ns("direct", "dram", 1.0, 0.5, -1.0)
+
+
+class TestCrossover:
+    def test_basic_crossover(self):
+        # Serial pays 250ns vs 136ns direct; saves 0.10 miss ratio.
+        penalty = crossover_miss_penalty_ns("mru", "dram", 3.0, 0.15, 0.25)
+        assert penalty == pytest.approx((250.0 - 136.0) / 0.10)
+
+    def test_no_miss_gain_never_crosses(self):
+        assert math.isinf(
+            crossover_miss_penalty_ns("mru", "dram", 3.0, 0.25, 0.25)
+        )
+
+    def test_already_faster_crosses_at_zero(self):
+        # One probe at 150ns base is still slower than direct (136),
+        # so use partial on SRAM at 1 probe: 65 < 61? No: 65 > 61.
+        # Construct via probes < 1 floor: base 65 vs direct 61 -> gap
+        # positive. Verify the zero case with equal designs instead.
+        assert crossover_miss_penalty_ns("direct", "dram", 1.0, 0.1, 0.2) == 0.0
+
+    def test_crossover_decreases_with_bigger_ratio_gain(self):
+        small = crossover_miss_penalty_ns("partial", "dram", 2.0, 0.20, 0.25)
+        large = crossover_miss_penalty_ns("partial", "dram", 2.0, 0.10, 0.25)
+        assert large < small
+
+    def test_effective_orders_flip_beyond_crossover(self):
+        probes, m_serial, m_direct = 2.5, 0.12, 0.22
+        penalty = crossover_miss_penalty_ns(
+            "partial", "dram", probes, m_serial, m_direct
+        )
+        below = penalty * 0.5
+        above = penalty * 2.0
+        serial_below = effective_access_ns("partial", "dram", probes, m_serial, below)
+        direct_below = effective_access_ns("direct", "dram", 1.0, m_direct, below)
+        serial_above = effective_access_ns("partial", "dram", probes, m_serial, above)
+        direct_above = effective_access_ns("direct", "dram", 1.0, m_direct, above)
+        assert serial_below > direct_below
+        assert serial_above < direct_above

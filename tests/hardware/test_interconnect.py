@@ -1,0 +1,96 @@
+"""Tests for the shared-bus contention model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import (
+    BusScenario,
+    contention_gain,
+    offered_utilization,
+    queued_penalty_ns,
+)
+
+
+class TestUtilization:
+    def test_proportional_to_everything(self):
+        base = offered_utilization(4, 10.0, 0.1, 100.0)
+        assert offered_utilization(8, 10.0, 0.1, 100.0) == 2 * base
+        assert offered_utilization(4, 20.0, 0.1, 100.0) == 2 * base
+        assert offered_utilization(4, 10.0, 0.2, 100.0) == 2 * base
+
+    def test_units(self):
+        # 1 proc, 1000 accesses/us = 1/ns, all misses, 0.5ns service
+        # -> utilization 0.5.
+        assert offered_utilization(1, 1000.0, 1.0, 0.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            offered_utilization(0, 1.0, 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            offered_utilization(1, 1.0, 1.5, 1.0)
+
+
+class TestPenalty:
+    def test_uncontended_is_service_plus_memory(self):
+        assert queued_penalty_ns(100.0, 0.0, memory_ns=50.0) == 150.0
+
+    def test_queueing_inflates(self):
+        assert queued_penalty_ns(100.0, 0.5) == pytest.approx(200.0)
+        assert queued_penalty_ns(100.0, 0.9) == pytest.approx(1000.0)
+
+    def test_saturation_raises(self):
+        with pytest.raises(ConfigurationError, match="saturated"):
+            queued_penalty_ns(100.0, 1.0)
+
+    def test_monotone_in_utilization(self):
+        values = [queued_penalty_ns(100.0, u) for u in (0.0, 0.3, 0.6, 0.9)]
+        assert values == sorted(values)
+
+
+class TestScenario:
+    def scenario(self):
+        return BusScenario(
+            processors=8, accesses_per_us=5.0, service_ns=80.0, memory_ns=100.0
+        )
+
+    def test_penalty_sensitive_to_miss_ratio(self):
+        s = self.scenario()
+        assert s.penalty_ns(0.05) < s.penalty_ns(0.15)
+
+    def test_saturation_miss_ratio(self):
+        s = self.scenario()
+        threshold = s.saturation_miss_ratio()
+        assert 0 < threshold < 1
+        with pytest.raises(ConfigurationError):
+            s.penalty_ns(threshold * 1.01)
+
+    def test_unsaturable_bus(self):
+        s = BusScenario(processors=1, accesses_per_us=0.1, service_ns=10.0)
+        assert s.saturation_miss_ratio() > 1.0
+
+    def test_zero_rate(self):
+        s = BusScenario(processors=1, accesses_per_us=0.0, service_ns=10.0)
+        assert math.isinf(s.saturation_miss_ratio())
+        assert s.penalty_ns(1.0) == 10.0
+
+
+class TestContentionGain:
+    def test_contention_amplifies_associativity(self):
+        # The paper's point: the miss-service advantage under
+        # contention exceeds the plain miss-ratio advantage.
+        s = BusScenario(processors=8, accesses_per_us=5.0, service_ns=80.0)
+        direct, assoc = 0.20, 0.12
+        gain = contention_gain(s, direct, assoc)
+        assert gain > direct / assoc
+
+    def test_no_contention_no_amplification(self):
+        s = BusScenario(processors=1, accesses_per_us=0.001, service_ns=1.0)
+        direct, assoc = 0.20, 0.12
+        gain = contention_gain(s, direct, assoc)
+        assert gain == pytest.approx(direct / assoc, rel=1e-3)
+
+    def test_perfect_cache_infinite_gain(self):
+        s = BusScenario(processors=2, accesses_per_us=1.0, service_ns=10.0)
+        assert math.isinf(contention_gain(s, 0.2, 0.0))

@@ -1,0 +1,119 @@
+"""Calibration tests: the synthetic workload must land near the
+paper's published L1 miss ratios and reproduce the headline shape
+results (who wins, where).
+
+These run a moderate workload (two ~120k-reference segments), so bands
+are generous; the full-scale numbers (see EXPERIMENTS.md) sit closer
+to the paper's.
+"""
+
+import pytest
+
+from repro.experiments.configs import parse_geometry
+from repro.experiments.runner import ExperimentRunner
+from repro.trace.synthetic import AtumWorkload
+
+
+@pytest.fixture(scope="module")
+def runner():
+    workload = AtumWorkload(segments=2, references_per_segment=120_000, seed=1989)
+    return ExperimentRunner(workload)
+
+
+class TestL1Calibration:
+    """Paper Table 3: miss ratios 0.1181 / 0.0657 / 0.0513."""
+
+    def test_4k16_band(self, runner):
+        assert 0.09 < runner.l1_miss_ratio(parse_geometry("4K-16")) < 0.16
+
+    def test_16k16_band(self, runner):
+        assert 0.05 < runner.l1_miss_ratio(parse_geometry("16K-16")) < 0.10
+
+    def test_16k32_band(self, runner):
+        assert 0.04 < runner.l1_miss_ratio(parse_geometry("16K-32")) < 0.085
+
+    def test_capacity_ordering(self, runner):
+        small = runner.l1_miss_ratio(parse_geometry("4K-16"))
+        large = runner.l1_miss_ratio(parse_geometry("16K-16"))
+        # Paper ratio: 0.1181 / 0.0657 = 1.8.
+        assert 1.4 < small / large < 2.3
+
+    def test_block_size_ordering(self, runner):
+        narrow = runner.l1_miss_ratio(parse_geometry("16K-16"))
+        wide = runner.l1_miss_ratio(parse_geometry("16K-32"))
+        # Paper ratio: 0.0513 / 0.0657 = 0.78.
+        assert 0.6 < wide / narrow < 0.95
+
+
+class TestWritebackFraction:
+    def test_near_paper_fifth(self, runner):
+        # Paper: 0.2083-0.2302 across L1 configs.
+        result = runner.run("16K-16", "256K-32", 4)
+        assert 0.15 < result.fraction_writebacks < 0.30
+
+
+class TestHeadlineShape:
+    """The orderings the paper's conclusions rest on."""
+
+    def test_partial_wins_reference_config(self, runner):
+        # Paper Table 4: partial is best in total for 16K-16/256K-32.
+        for a in (4, 8):
+            result = runner.run("16K-16", "256K-32", a)
+            assert result.best_total() == "partial"
+
+    def test_naive_worst_at_wide_associativity(self, runner):
+        result = runner.run("16K-16", "256K-32", 8)
+        naive = result.schemes["naive"].total
+        assert naive > result.schemes["mru"].total
+        assert naive > result.schemes["partial"].total
+
+    def test_mru_close_to_partial_in_its_favored_config(self, runner):
+        # Paper: MRU wins 4K-16/256K-64 at a >= 8; our synthetic trace
+        # reproduces a near-tie (documented in EXPERIMENTS.md).
+        result = runner.run("4K-16", "256K-64", 8)
+        mru = result.schemes["mru"].total
+        partial = result.schemes["partial"].total
+        assert mru < result.schemes["naive"].total
+        assert mru / partial < 1.35
+
+    def test_mru_hits_improve_with_block_ratio(self, runner):
+        # Paper: MRU's f_1 grows with the L2/L1 block-size ratio.
+        small_ratio = runner.run("16K-16", "256K-16", 4)
+        large_ratio = runner.run("4K-16", "256K-64", 4)
+        assert large_ratio.mru_distribution[0] > small_ratio.mru_distribution[0]
+
+    def test_probes_grow_with_associativity(self, runner):
+        totals = {}
+        for a in (4, 8, 16):
+            result = runner.run("16K-16", "256K-32", a)
+            totals[a] = {
+                name: result.schemes[name].total
+                for name in ("naive", "mru", "partial")
+            }
+        for name in ("naive", "mru", "partial"):
+            assert totals[4][name] < totals[8][name] < totals[16][name]
+
+    def test_associativity_barely_improves_miss_ratio_beyond_4(self, runner):
+        # Paper: "8 and 16-way set-associativity did not improve the
+        # miss ratios substantially over 4-way".
+        four = runner.run("16K-16", "256K-32", 4).local_miss_ratio
+        sixteen = runner.run("16K-16", "256K-32", 16).local_miss_ratio
+        assert sixteen <= four
+        assert (four - sixteen) / four < 0.25
+
+    def test_wider_tags_help_partial(self, runner):
+        result = runner.run("16K-16", "256K-32", 8, extra_tag_bits=(32,))
+        t16 = result.schemes["partial/xor/t16"]
+        t32 = result.schemes["partial/xor/t32"]
+        assert t32.total <= t16.total + 1e-9
+
+    def test_transform_ordering_matches_figure6(self, runner):
+        result = runner.run(
+            "16K-16", "256K-32", 8,
+            transforms=("none", "xor", "improved"),
+        )
+        none = result.schemes["partial/none/t16"].total
+        xor = result.schemes["partial/xor/t16"].total
+        improved = result.schemes["partial/improved/t16"].total
+        assert none >= xor - 0.02
+        assert none >= improved - 0.02

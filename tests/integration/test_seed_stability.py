@@ -1,0 +1,43 @@
+"""Seed-stability: the headline orderings must not depend on the
+particular random draw of the synthetic workload."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.trace.synthetic import AtumWorkload
+
+SEEDS = (7, 1989)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_runner(request):
+    workload = AtumWorkload(
+        segments=1, references_per_segment=100_000, seed=request.param
+    )
+    return ExperimentRunner(workload)
+
+
+class TestSeedStability:
+    def test_partial_wins_reference_config(self, seeded_runner):
+        result = seeded_runner.run("16K-16", "256K-32", 4)
+        assert result.best_total() == "partial"
+
+    def test_l1_ordering(self, seeded_runner):
+        from repro.experiments.configs import parse_geometry
+
+        small = seeded_runner.l1_miss_ratio(parse_geometry("4K-16"))
+        large = seeded_runner.l1_miss_ratio(parse_geometry("16K-16"))
+        wide = seeded_runner.l1_miss_ratio(parse_geometry("16K-32"))
+        assert small > large > wide
+
+    def test_naive_worst_at_8way(self, seeded_runner):
+        result = seeded_runner.run("16K-16", "256K-32", 8)
+        naive = result.schemes["naive"].total
+        assert naive > result.schemes["mru"].total
+        assert naive > result.schemes["partial"].total
+
+    def test_f1_dominates_distribution(self, seeded_runner):
+        result = seeded_runner.run("16K-16", "256K-32", 4)
+        distribution = result.mru_distribution
+        assert distribution[0] == max(distribution)
+        assert distribution[0] > 0.4

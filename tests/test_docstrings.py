@@ -1,0 +1,63 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_public_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (item.__doc__ and item.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method) and not isinstance(
+                    method, property
+                ):
+                    continue
+                doc = (
+                    method.fget.__doc__
+                    if isinstance(method, property)
+                    else method.__doc__
+                )
+                if doc and doc.strip():
+                    continue
+                # An override inherits its contract from a documented
+                # base-class method.
+                inherited = any(
+                    getattr(getattr(base, method_name, None), "__doc__", None)
+                    for base in item.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}"
+    )

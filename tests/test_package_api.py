@@ -1,0 +1,73 @@
+"""Public-API surface tests: every exported name resolves and the
+documented quickstart works as written."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.core",
+    "repro.cache",
+    "repro.trace",
+    "repro.hardware",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_readme_quickstart_runs():
+    from repro import (
+        AtumWorkload,
+        DirectMappedCache,
+        MRULookup,
+        NaiveLookup,
+        PartialCompareLookup,
+        ProbeObserver,
+        SetAssociativeCache,
+        TwoLevelHierarchy,
+    )
+
+    workload = AtumWorkload(segments=1, references_per_segment=2_000, seed=1)
+    l1 = DirectMappedCache(16 * 1024, 16)
+    l2 = SetAssociativeCache(256 * 1024, 32, associativity=4)
+    observers = [
+        ProbeObserver(s)
+        for s in (
+            NaiveLookup(4),
+            MRULookup(4),
+            PartialCompareLookup(4, tag_bits=16),
+        )
+    ]
+    l2.attach_all(observers)
+    stats = TwoLevelHierarchy(l1, l2).run(workload)
+    assert stats.processor_references == 2_000
+    for observer in observers:
+        assert observer.accumulator.total_accesses > 0
+
+
+def test_errors_hierarchy():
+    from repro.errors import (
+        ConfigurationError,
+        ReproError,
+        SimulationError,
+        TraceFormatError,
+    )
+
+    for exc in (ConfigurationError, SimulationError, TraceFormatError):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")

@@ -1,0 +1,85 @@
+"""Tests for the binary trace format."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.binary import MAGIC, read_binary, write_binary
+from repro.trace.reference import FLUSH, AccessKind, Reference
+
+SAMPLE = [
+    Reference(AccessKind.LOAD, 0x1000),
+    Reference(AccessKind.STORE, 0xFFFF_FFFF_FF),
+    Reference(AccessKind.INSTRUCTION, 0),
+    FLUSH,
+    Reference(AccessKind.LOAD, 7 << 26),
+]
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        buffer = io.BytesIO()
+        assert write_binary(SAMPLE, buffer) == len(SAMPLE)
+        buffer.seek(0)
+        assert list(read_binary(buffer)) == SAMPLE
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.rpt"
+        write_binary(SAMPLE, path)
+        assert list(read_binary(path)) == SAMPLE
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.rpt.gz"
+        write_binary(SAMPLE, path)
+        assert list(read_binary(path)) == SAMPLE
+
+    def test_binary_matches_din_semantics(self, tmp_path):
+        from repro.trace.dinero import read_din, write_din
+        from repro.trace.synthetic import AtumWorkload
+
+        workload = list(
+            AtumWorkload(segments=2, references_per_segment=500, seed=3)
+        )
+        bin_path = tmp_path / "t.rpt"
+        din_path = tmp_path / "t.din"
+        write_binary(workload, bin_path)
+        write_din(workload, din_path)
+        assert list(read_binary(bin_path)) == list(read_din(din_path))
+
+    def test_smaller_than_din(self, tmp_path):
+        from repro.trace.dinero import write_din
+        from repro.trace.synthetic import AtumWorkload
+
+        workload = list(
+            AtumWorkload(segments=1, references_per_segment=2_000, seed=3)
+        )
+        bin_path = tmp_path / "t.rpt"
+        din_path = tmp_path / "t.din"
+        write_binary(workload, bin_path)
+        write_din(workload, din_path)
+        assert bin_path.stat().st_size < din_path.stat().st_size
+
+
+class TestErrors:
+    def test_oversized_address_rejected(self):
+        with pytest.raises(TraceFormatError, match="64-bit"):
+            write_binary(
+                [Reference(AccessKind.LOAD, 1 << 64)], io.BytesIO()
+            )
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(read_binary(io.BytesIO(b"NOPE" + b"\x00" * 9)))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO(MAGIC + b"\x00\x01")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary(buffer))
+
+    def test_unknown_kind(self):
+        import struct
+
+        buffer = io.BytesIO(MAGIC + struct.pack("<BQ", 9, 0))
+        with pytest.raises(TraceFormatError, match="unknown record kind"):
+            list(read_binary(buffer))

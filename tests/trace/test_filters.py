@@ -1,0 +1,122 @@
+"""Tests for trace filtering and composition utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.filters import (
+    align_to_blocks,
+    filter_address_range,
+    filter_kinds,
+    insert_flushes,
+    interleave,
+    skip,
+    take,
+)
+from repro.trace.reference import FLUSH, AccessKind, Reference
+
+
+def load(addr):
+    return Reference(AccessKind.LOAD, addr)
+
+
+def ifetch(addr):
+    return Reference(AccessKind.INSTRUCTION, addr)
+
+
+TRACE = [load(0), ifetch(4), FLUSH, load(8), ifetch(12), load(16)]
+
+
+class TestTakeSkip:
+    def test_take_counts_references_not_flushes(self):
+        result = list(take(TRACE, 3))
+        refs = [r for r in result if not r.is_flush]
+        assert len(refs) == 3
+        assert FLUSH in result
+
+    def test_take_zero(self):
+        assert list(take(TRACE, 0)) == []
+
+    def test_skip(self):
+        result = list(skip(TRACE, 2))
+        assert [r.address for r in result if not r.is_flush] == [8, 12, 16]
+        assert FLUSH in result
+
+    def test_take_skip_partition(self):
+        head = [r for r in take(TRACE, 2) if not r.is_flush]
+        tail = [r for r in skip(TRACE, 2) if not r.is_flush]
+        whole = [r for r in TRACE if not r.is_flush]
+        assert head + tail == whole
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(take(TRACE, -1))
+        with pytest.raises(ConfigurationError):
+            list(skip(TRACE, -1))
+
+
+class TestFilters:
+    def test_filter_kinds(self):
+        result = list(filter_kinds(TRACE, [AccessKind.INSTRUCTION]))
+        assert [r.address for r in result if not r.is_flush] == [4, 12]
+        assert FLUSH in result
+
+    def test_filter_address_range(self):
+        result = list(filter_address_range(TRACE, 4, 13))
+        assert [r.address for r in result if not r.is_flush] == [4, 8, 12]
+
+    def test_filter_address_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(filter_address_range(TRACE, 10, 5))
+
+    def test_align_to_blocks(self):
+        result = list(align_to_blocks([load(0x47), load(0x10)], 16))
+        assert [r.address for r in result] == [0x40, 0x10]
+
+    def test_align_preserves_kind_and_flush(self):
+        result = list(align_to_blocks([ifetch(5), FLUSH], 16))
+        assert result[0].kind is AccessKind.INSTRUCTION
+        assert result[1].is_flush
+
+    def test_align_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(align_to_blocks(TRACE, 24))
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        a = [load(0), load(1), load(2)]
+        b = [load(100), load(101), load(102)]
+        result = [r.address for r in interleave([a, b], quantum=2)]
+        assert result == [0, 1, 100, 101, 2, 102]
+
+    def test_uneven_lengths(self):
+        a = [load(0)]
+        b = [load(100), load(101), load(102)]
+        result = [r.address for r in interleave([a, b], quantum=1)]
+        assert result == [0, 100, 101, 102]
+
+    def test_input_flushes_dropped(self):
+        a = [load(0), FLUSH, load(1)]
+        result = list(interleave([a], quantum=10))
+        assert all(not r.is_flush for r in result)
+        assert len(result) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(interleave([[]], quantum=0))
+
+
+class TestInsertFlushes:
+    def test_inserts_at_interval(self):
+        trace = [load(i) for i in range(5)]
+        result = list(insert_flushes(trace, every=2))
+        kinds = ["F" if r.is_flush else "r" for r in result]
+        assert kinds == ["r", "r", "F", "r", "r", "F", "r"]
+
+    def test_existing_flushes_pass_through(self):
+        result = list(insert_flushes([load(0), FLUSH, load(1)], every=10))
+        assert sum(1 for r in result if r.is_flush) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(insert_flushes(TRACE, every=0))

@@ -1,0 +1,97 @@
+"""Tests for the simple trace generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.generators import (
+    ZipfStackSampler,
+    loop_trace,
+    random_trace,
+    sequential_trace,
+    stack_distance_trace,
+)
+from repro.trace.reference import AccessKind
+
+import random
+
+
+class TestSequential:
+    def test_addresses_march_by_stride(self):
+        refs = list(sequential_trace(0x100, 4, stride=8))
+        assert [r.address for r in refs] == [0x100, 0x108, 0x110, 0x118]
+
+    def test_kind(self):
+        refs = list(sequential_trace(0, 2, kind=AccessKind.INSTRUCTION))
+        assert all(r.kind is AccessKind.INSTRUCTION for r in refs)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(sequential_trace(0, -1))
+
+
+class TestLoop:
+    def test_repeats_working_set(self):
+        refs = list(loop_trace([0, 16, 32], iterations=2))
+        assert [r.address for r in refs] == [0, 16, 32, 0, 16, 32]
+
+    def test_zero_iterations(self):
+        assert list(loop_trace([0], 0)) == []
+
+
+class TestRandom:
+    def test_deterministic_by_seed(self):
+        a = [r.address for r in random_trace(50, 4096, seed=3)]
+        b = [r.address for r in random_trace(50, 4096, seed=3)]
+        assert a == b
+
+    def test_respects_range_and_alignment(self):
+        for ref in random_trace(200, 4096, seed=1, alignment=8):
+            assert 0 <= ref.address < 4096
+            assert ref.address % 8 == 0
+
+    def test_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            list(random_trace(1, 0))
+
+
+class TestZipfSampler:
+    def test_sample_range(self):
+        sampler = ZipfStackSampler(100, 1.5, random.Random(0))
+        for _ in range(500):
+            assert 1 <= sampler.sample() <= 100
+
+    def test_small_distances_dominate(self):
+        sampler = ZipfStackSampler(1000, 1.5, random.Random(0))
+        samples = [sampler.sample() for _ in range(2000)]
+        small = sum(1 for s in samples if s <= 10)
+        assert small > len(samples) * 0.5
+
+    def test_higher_theta_more_concentrated(self):
+        flat = ZipfStackSampler(1000, 1.1, random.Random(0))
+        steep = ZipfStackSampler(1000, 2.5, random.Random(0))
+        flat_mean = sum(flat.sample() for _ in range(2000)) / 2000
+        steep_mean = sum(steep.sample() for _ in range(2000)) / 2000
+        assert steep_mean < flat_mean
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfStackSampler(0, 1.5, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            ZipfStackSampler(10, 0.0, random.Random(0))
+
+
+class TestStackDistanceTrace:
+    def test_deterministic(self):
+        a = [r.address for r in stack_distance_trace(200, seed=5)]
+        b = [r.address for r in stack_distance_trace(200, seed=5)]
+        assert a == b
+
+    def test_exhibits_temporal_locality(self):
+        refs = list(stack_distance_trace(2000, block_size=16, seed=1))
+        blocks = [r.address // 16 for r in refs]
+        # Re-referenced blocks should be common.
+        assert len(set(blocks)) < len(blocks) * 0.5
+
+    def test_word_aligned(self):
+        for ref in stack_distance_trace(100, seed=2):
+            assert ref.address % 4 == 0

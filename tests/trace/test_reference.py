@@ -1,0 +1,24 @@
+"""Tests for reference types."""
+
+import pytest
+
+from repro.trace.reference import FLUSH, AccessKind, Reference
+
+
+class TestReference:
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Reference(AccessKind.LOAD, -1)
+
+    def test_flush_sentinel(self):
+        assert FLUSH.is_flush
+        assert not Reference(AccessKind.LOAD, 0).is_flush
+
+    def test_frozen(self):
+        ref = Reference(AccessKind.LOAD, 4)
+        with pytest.raises(Exception):
+            ref.address = 8
+
+    def test_equality(self):
+        assert Reference(AccessKind.LOAD, 4) == Reference(AccessKind.LOAD, 4)
+        assert Reference(AccessKind.LOAD, 4) != Reference(AccessKind.STORE, 4)

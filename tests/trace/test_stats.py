@@ -1,0 +1,63 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.trace.reference import FLUSH, AccessKind, Reference
+from repro.trace.stats import stack_distance_profile, summarize_trace
+
+
+def load(addr):
+    return Reference(AccessKind.LOAD, addr)
+
+
+class TestSummarize:
+    def test_counts(self):
+        trace = [
+            Reference(AccessKind.INSTRUCTION, 0),
+            load(16),
+            Reference(AccessKind.STORE, 32),
+            FLUSH,
+            load(48),
+        ]
+        stats = summarize_trace(trace, block_size=16)
+        assert stats.references == 4
+        assert stats.flushes == 1
+        assert stats.unique_blocks == 4
+        assert stats.instruction_fraction == 0.25
+        assert stats.store_fraction == pytest.approx(1 / 3)
+
+    def test_limit(self):
+        trace = [load(i * 16) for i in range(100)]
+        stats = summarize_trace(trace, limit=10)
+        assert stats.references == 10
+        assert stats.unique_blocks == 10
+
+    def test_empty(self):
+        stats = summarize_trace([])
+        assert stats.references == 0
+        assert stats.instruction_fraction == 0.0
+        assert stats.store_fraction == 0.0
+
+
+class TestStackProfile:
+    def test_first_touches_in_overflow_bucket(self):
+        trace = [load(i * 16) for i in range(5)]
+        profile = stack_distance_profile(trace, block_size=16, max_tracked=8)
+        assert profile[8] == 5
+        assert sum(profile[:8]) == 0
+
+    def test_immediate_rereference_is_distance_one(self):
+        trace = [load(0), load(0), load(0)]
+        profile = stack_distance_profile(trace, block_size=16, max_tracked=8)
+        assert profile[0] == 2
+
+    def test_distance_two(self):
+        trace = [load(0), load(16), load(0)]
+        profile = stack_distance_profile(trace, block_size=16, max_tracked=8)
+        assert profile[1] == 1
+
+    def test_flushes_skipped(self):
+        trace = [load(0), FLUSH, load(0)]
+        profile = stack_distance_profile(trace, block_size=16, max_tracked=4)
+        # The flush does not clear the profiling stack; distance 1.
+        assert profile[0] == 1
