@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Machine-readable simulator throughput benchmark.
+
+Times the L2 replay benchmark workload (the same stream
+``benchmarks/bench_simulator_speed.py`` uses) through the three
+instrumentation configurations — bare, fused engine, and legacy
+observers — and writes the results as JSON, so CI and before/after
+comparisons don't have to parse pytest-benchmark output.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py [-o BENCH_simulator.json]
+
+The JSON schema is ``{"workload": {...}, "results": {name: {...}}}``
+with per-configuration best wall-clock seconds, requests/second, and
+the derived speedup of the fused engine over the legacy observer path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cache.hierarchy import cached_miss_stream, replay_miss_stream
+from repro.cache.observers import ProbeObserver
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.engine import FusedProbeEngine
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.trace.synthetic import AtumWorkload
+
+L1_CAPACITY = 4096
+L1_BLOCK = 16
+L2_CAPACITY = 64 * 1024
+L2_BLOCK = 32
+ASSOCIATIVITY = 4
+
+
+def bare_cache():
+    return SetAssociativeCache(L2_CAPACITY, L2_BLOCK, ASSOCIATIVITY)
+
+
+def fused_cache():
+    cache = bare_cache()
+    engine = FusedProbeEngine(ASSOCIATIVITY)
+    engine.add_scheme(NaiveLookup(ASSOCIATIVITY))
+    engine.add_scheme(MRULookup(ASSOCIATIVITY))
+    engine.add_scheme(PartialCompareLookup(ASSOCIATIVITY, tag_bits=16))
+    cache.attach_engine(engine)
+    return cache
+
+
+def legacy_cache():
+    cache = bare_cache()
+    cache.attach_all(
+        [
+            ProbeObserver(NaiveLookup(ASSOCIATIVITY)),
+            ProbeObserver(MRULookup(ASSOCIATIVITY)),
+            ProbeObserver(PartialCompareLookup(ASSOCIATIVITY, tag_bits=16)),
+        ]
+    )
+    return cache
+
+
+def best_time(stream, make_cache, repetitions):
+    best = float("inf")
+    for _ in range(repetitions):
+        cache = make_cache()
+        start = time.perf_counter()
+        replay_miss_stream(stream, cache)
+        if cache.engine is not None:
+            cache.engine.finalize()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_simulator.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--references", type=int, default=30_000,
+        help="workload references per segment (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=7,
+        help="timing repetitions; the best is reported (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    workload = AtumWorkload(
+        segments=1, references_per_segment=args.references, seed=21
+    )
+    stream, _ = cached_miss_stream(workload, L1_CAPACITY, L1_BLOCK)
+    requests = len(stream)
+
+    configurations = {
+        "l2_replay_bare": bare_cache,
+        "l2_replay_fused_engine": fused_cache,
+        "l2_replay_legacy_observers": legacy_cache,
+    }
+    results = {}
+    for name, make_cache in configurations.items():
+        seconds = best_time(stream, make_cache, args.repetitions)
+        results[name] = {
+            "best_seconds": seconds,
+            "requests": requests,
+            "requests_per_second": requests / seconds,
+        }
+        print(
+            f"{name:30s} {seconds * 1e3:8.2f} ms   "
+            f"{requests / seconds:12.0f} req/s"
+        )
+
+    fused = results["l2_replay_fused_engine"]["best_seconds"]
+    legacy = results["l2_replay_legacy_observers"]["best_seconds"]
+    summary = {
+        "fused_speedup_over_legacy": legacy / fused,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    print(f"fused engine speedup over legacy observers: {legacy / fused:.2f}x")
+
+    payload = {
+        "workload": {
+            "segments": 1,
+            "references_per_segment": args.references,
+            "seed": 21,
+            "l1": f"{L1_CAPACITY}B/{L1_BLOCK}B",
+            "l2": f"{L2_CAPACITY}B/{L2_BLOCK}B/a{ASSOCIATIVITY}",
+            "l2_requests": requests,
+        },
+        "results": results,
+        "summary": summary,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ from repro.cache import (
     replay_miss_stream,
 )
 from repro.core import (
+    FusedProbeEngine,
     LookupOutcome,
     LookupScheme,
     MRULookup,
@@ -61,6 +62,7 @@ __all__ = [
     "AtumWorkload",
     "ConfigurationError",
     "DirectMappedCache",
+    "FusedProbeEngine",
     "LookupOutcome",
     "LookupScheme",
     "MRULookup",

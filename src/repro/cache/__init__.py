@@ -19,8 +19,11 @@ from repro.cache.hierarchy import (
     InclusionStats,
     MissStream,
     TwoLevelHierarchy,
+    cached_miss_stream,
     capture_miss_stream,
+    clear_miss_stream_cache,
     replay_miss_stream,
+    split_stream_at_flushes,
 )
 from repro.cache.stack import StackSimulator
 from repro.cache.multiprocessor import (
@@ -65,9 +68,12 @@ __all__ = [
     "SetAssociativeCache",
     "StackSimulator",
     "TwoLevelHierarchy",
+    "cached_miss_stream",
     "capture_miss_stream",
+    "clear_miss_stream_cache",
     "make_replacement",
     "node_workloads",
     "replay_miss_stream",
     "run_with_invalidations",
+    "split_stream_at_flushes",
 ]

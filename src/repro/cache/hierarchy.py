@@ -15,7 +15,7 @@ the full Table 4 sweep affordable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.cache.direct_mapped import DirectMappedCache, MemoryRequest, RequestKind
 from repro.cache.set_associative import SetAssociativeCache
@@ -282,6 +282,86 @@ def capture_miss_stream(
         for request in l1.access(ref):
             stream.append(request)
     return stream
+
+
+#: Process-wide miss-stream cache, content-addressed by
+#: (workload identity, L1 capacity, L1 block size). Values are
+#: (stream, L1 read-in miss ratio) pairs.
+_MISS_STREAM_CACHE: Dict[tuple, Tuple[MissStream, float]] = {}
+
+
+def _workload_key(workload) -> tuple:
+    """Content address for a workload.
+
+    Uses the workload's own ``cache_key()`` when it provides one
+    (:class:`~repro.trace.synthetic.AtumWorkload` does — seed, segment
+    structure, and model parameters); otherwise falls back to object
+    identity, which still deduplicates repeated captures of the same
+    instance.
+    """
+    cache_key = getattr(workload, "cache_key", None)
+    if cache_key is not None:
+        return (type(workload).__qualname__,) + tuple(cache_key())
+    return ("id", id(workload))
+
+
+def cached_miss_stream(
+    workload, capacity_bytes: int, block_size: int
+) -> Tuple[MissStream, float]:
+    """Captured L1 request stream for ``workload``, memoized process-wide.
+
+    The L1 pass is the expensive, L2-independent step of every sweep;
+    this keys captured streams by (workload identity, L1 geometry) so
+    L2-only sweeps — even across independent
+    :class:`~repro.experiments.runner.ExperimentRunner` instances —
+    never re-simulate the L1 for a workload they have already seen.
+
+    Returns:
+        ``(stream, l1_readin_miss_ratio)``. The stream is shared;
+        callers must treat it as immutable.
+    """
+    key = (_workload_key(workload), capacity_bytes, block_size)
+    entry = _MISS_STREAM_CACHE.get(key)
+    if entry is None:
+        l1 = DirectMappedCache(capacity_bytes, block_size)
+        stream = capture_miss_stream(iter(workload), l1)
+        entry = (stream, l1.stats.readin_miss_ratio)
+        _MISS_STREAM_CACHE[key] = entry
+    return entry
+
+
+def clear_miss_stream_cache() -> None:
+    """Drop every memoized miss stream (frees the captured traces)."""
+    _MISS_STREAM_CACHE.clear()
+
+
+def split_stream_at_flushes(stream: MissStream) -> List[MissStream]:
+    """Split a captured stream into its cold-start segments.
+
+    Every segment starts at a flush boundary, so replaying each into a
+    *fresh* L2 is event-for-event identical to replaying the whole
+    stream serially — the property the parallel sweep runner uses to
+    shard one replay across worker processes and merge the resulting
+    accumulators. Flush markers are consumed by the split (a fresh
+    cache is already cold); empty segments are dropped.
+
+    ``processor_references`` is carried on the first segment only, so
+    summing over segments matches the original stream.
+    """
+    segments: List[MissStream] = []
+    current: List[Tuple[int, int]] = []
+    for event in stream.events:
+        if event == FLUSH_MARKER:
+            if current:
+                segments.append(MissStream(events=current))
+                current = []
+            continue
+        current.append(event)
+    if current:
+        segments.append(MissStream(events=current))
+    if segments:
+        segments[0].processor_references = stream.processor_references
+    return segments
 
 
 def replay_miss_stream(stream: MissStream, l2: SetAssociativeCache) -> None:

@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cache.direct_mapped import RequestKind
-from repro.core.mru import MRULookup
 from repro.core.probes import ProbeAccumulator, SetView
 from repro.core.schemes import LookupScheme
 
@@ -73,7 +72,6 @@ class MruDistanceObserver:
     """
 
     def __init__(self, associativity: int) -> None:
-        self.scheme = MRULookup(associativity)
         self.associativity = associativity
         self.counts: Dict[int, int] = {}
         self.hits = 0
@@ -85,18 +83,27 @@ class MruDistanceObserver:
         """Record the MRU distance of read-in hits, and — over *all*
         accesses — whether the MRU ordering information must be
         rewritten (the ``u`` of Table 2's cycle expressions: an access
-        to anything but the current MRU head changes the list)."""
+        to anything but the current MRU head changes the list).
+
+        The hit distance is read straight off the MRU order (a hit's
+        1-based rank in ``view.mru_order``): with a full MRU list that
+        *is* the search position, so no per-access
+        :class:`~repro.core.mru.MRULookup` rescan is needed — the fused
+        engine hands the same rank over precomputed.
+        """
         self.accesses += 1
-        head = view.mru_order[0] if view.mru_order else None
-        if head is None or view.tags[head] != tag:
+        mru = view.mru_order
+        tags = view.tags
+        if not mru or tags[mru[0]] != tag:
             self.updates += 1
         if kind is not RequestKind.READ_IN:
             return
-        distance = self.scheme.hit_distance(view, tag)
-        if distance is None:
-            return
-        self.hits += 1
-        self.counts[distance] = self.counts.get(distance, 0) + 1
+        for index, frame in enumerate(mru):
+            if tags[frame] == tag:
+                distance = index + 1
+                self.hits += 1
+                self.counts[distance] = self.counts.get(distance, 0) + 1
+                return
 
     @property
     def update_fraction(self) -> float:

@@ -43,7 +43,18 @@ class ReplacementPolicy(ABC):
                 f"fill must be 'first' or 'random', got {fill!r}"
             )
         self.fill = fill
+        self.seed = seed
         self._fill_rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Restore the policy to its initial (cold) state.
+
+        Called at cold-start flush boundaries so that a flushed cache is
+        indistinguishable from a freshly constructed one — the property
+        that lets the parallel sweep runner replay each cold-start
+        segment in a fresh cache and merge counters bit-identically.
+        """
+        self._fill_rng = random.Random(self.seed)
 
     def victim(self, cache_set: CacheSet) -> int:
         """Frame to fill: an invalid frame if any, else :meth:`evict_from`."""
@@ -88,6 +99,10 @@ class RandomReplacement(ReplacementPolicy):
     def __init__(self, fill: str = "random", seed: int = 0) -> None:
         super().__init__(fill=fill, seed=seed)
         self._rng = random.Random(seed ^ 0x5DEECE66)
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self.seed ^ 0x5DEECE66)
 
     def evict_from(self, cache_set: CacheSet) -> int:
         candidates = cache_set.valid_frames()

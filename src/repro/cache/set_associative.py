@@ -4,6 +4,17 @@ Services read-in and write-back requests from the level-one cache
 (Table 3). Replacement is true LRU by default; attached observers
 compute, per access, how many probes each lookup implementation would
 have spent — all from the same single simulation pass.
+
+Two instrumentation paths are supported:
+
+- *legacy observers* (:meth:`SetAssociativeCache.attach`): each
+  observer receives an immutable :class:`~repro.core.probes.SetView`
+  snapshot per access and runs its own lookup — the reference
+  implementation;
+- the *fused engine* (:meth:`SetAssociativeCache.attach_engine`): a
+  :class:`~repro.core.engine.FusedProbeEngine` reads the live set state
+  zero-copy and derives every scheme's probe count from shared lookup
+  facts, bit-identically to the observers but many times faster.
 """
 
 from __future__ import annotations
@@ -59,6 +70,8 @@ class SetAssociativeCache:
         self.replacement = replacement
         self.stats = CacheStats()
         self.observers: List = []
+        #: Optional fused probe-accounting engine (zero-copy fast path).
+        self.engine = None
         #: Optional callable invoked with (block_address, was_dirty)
         #: whenever a valid block is evicted — the hook the hierarchy
         #: uses to enforce multi-level inclusion (back-invalidation).
@@ -78,6 +91,23 @@ class SetAssociativeCache:
         for observer in observers:
             self.attach(observer)
 
+    def attach_engine(self, engine) -> None:
+        """Attach a :class:`~repro.core.engine.FusedProbeEngine`.
+
+        The engine sees the live (pre-update) set state by reference —
+        no per-access snapshot — plus the ground-truth hit frame the
+        cache computes anyway, and accounts every registered scheme
+        from those shared facts.
+        """
+        if engine.associativity != self.associativity:
+            raise ConfigurationError(
+                f"engine for associativity {engine.associativity} attached "
+                f"to a {self.associativity}-way cache"
+            )
+        if self.engine is not None:
+            raise ConfigurationError("an engine is already attached")
+        self.engine = engine
+
     def request(self, req: MemoryRequest) -> bool:
         """Service one L1 request; return True on a hit."""
         if req.kind is RequestKind.READ_IN:
@@ -92,8 +122,13 @@ class SetAssociativeCache:
         """
         index, tag = self.mapper.split(address)
         cache_set = self.sets[index]
-        self._notify(cache_set, tag, RequestKind.READ_IN)
         frame = cache_set.find(tag)
+        engine = self.engine
+        if engine is not None:
+            # Zero-copy: the engine borrows the set's internal state.
+            engine.observe(cache_set._tags, cache_set._mru, tag, False, frame)
+        if self.observers:
+            self._notify(cache_set, tag, RequestKind.READ_IN)
         if frame is not None:
             self.stats.readin_hits += 1
             cache_set.touch(frame)
@@ -113,8 +148,12 @@ class SetAssociativeCache:
         """
         index, tag = self.mapper.split(address)
         cache_set = self.sets[index]
-        self._notify(cache_set, tag, RequestKind.WRITE_BACK)
         frame = cache_set.find(tag)
+        engine = self.engine
+        if engine is not None:
+            engine.observe(cache_set._tags, cache_set._mru, tag, True, frame)
+        if self.observers:
+            self._notify(cache_set, tag, RequestKind.WRITE_BACK)
         if frame is not None:
             self.stats.writeback_hits += 1
             cache_set.set_dirty(frame)
@@ -154,9 +193,19 @@ class SetAssociativeCache:
         return True
 
     def invalidate_all(self) -> None:
-        """Flush every set without write-backs (cold-start boundary)."""
+        """Flush every set without write-backs (cold-start boundary).
+
+        After the flush the cache is indistinguishable from a freshly
+        constructed one: set state, tag indices, and the replacement
+        policy's fill randomness are all restored to their cold state.
+        That property is what lets a captured stream be replayed
+        segment-by-segment into fresh caches with bit-identical results
+        (see
+        :meth:`~repro.experiments.runner.ExperimentRunner.run_segmented`).
+        """
         for cache_set in self.sets:
             cache_set.invalidate_all()
+        self.replacement.reset()
 
     def _fill(self, set_index: int, tag: int, dirty: bool) -> None:
         cache_set = self.sets[set_index]

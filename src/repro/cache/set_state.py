@@ -13,7 +13,7 @@ precisely the same position in which it was loaded").
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.probes import SetView
 from repro.errors import SimulationError
@@ -22,7 +22,7 @@ from repro.errors import SimulationError
 class CacheSet:
     """State of one cache set of ``associativity`` block frames."""
 
-    __slots__ = ("_tags", "_dirty", "_mru", "_arrival", "_clock")
+    __slots__ = ("_tags", "_dirty", "_mru", "_arrival", "_clock", "_index")
 
     def __init__(self, associativity: int) -> None:
         if associativity <= 0:
@@ -34,6 +34,10 @@ class CacheSet:
         # Residence timestamps for FIFO; -1 marks invalid frames.
         self._arrival: List[int] = [-1] * associativity
         self._clock = 0
+        # Tag -> frame map kept in sync with _tags so find() is O(1)
+        # instead of a linear frame scan (sets hold at most one copy of
+        # any tag, so the mapping is a function).
+        self._index: Dict[int, int] = {}
 
     @property
     def associativity(self) -> int:
@@ -45,11 +49,8 @@ class CacheSet:
         return SetView(tags=tuple(self._tags), mru_order=tuple(self._mru))
 
     def find(self, tag: int) -> Optional[int]:
-        """Frame holding ``tag``, or ``None``."""
-        for frame, stored in enumerate(self._tags):
-            if stored is not None and stored == tag:
-                return frame
-        return None
+        """Frame holding ``tag``, or ``None`` (O(1) via the tag index)."""
+        return self._index.get(tag)
 
     def tag_at(self, frame: int) -> Optional[int]:
         """Tag stored in ``frame`` (``None`` if invalid)."""
@@ -94,13 +95,20 @@ class CacheSet:
         return min(valid, key=lambda f: self._arrival[f])
 
     def touch(self, frame: int) -> None:
-        """Move ``frame`` to the head of the MRU order."""
+        """Move ``frame`` to the head of the MRU order.
+
+        The common already-at-head case is a pure comparison; otherwise
+        the move is an in-place ``remove`` + ``insert`` on the existing
+        list — C-level element shifts, no new list objects — which for
+        the small ``a`` of real caches beats any linked structure.
+        """
         if self._tags[frame] is None:
             raise SimulationError("cannot touch an invalid frame")
-        if self._mru and self._mru[0] == frame:
+        mru = self._mru
+        if mru and mru[0] == frame:
             return
-        self._mru.remove(frame)
-        self._mru.insert(0, frame)
+        mru.remove(frame)
+        mru.insert(0, frame)
 
     def install(self, frame: int, tag: int, dirty: bool = False) -> Optional[int]:
         """Place ``tag`` into ``frame``, returning any evicted tag.
@@ -112,8 +120,10 @@ class CacheSet:
         evicted = self._tags[frame]
         if evicted is not None:
             self._mru.remove(frame)
+            del self._index[evicted]
         self._tags[frame] = tag
         self._dirty[frame] = dirty
+        self._index[tag] = frame
         self._mru.insert(0, frame)
         self._arrival[frame] = self._clock
         self._clock += 1
@@ -121,12 +131,14 @@ class CacheSet:
 
     def invalidate(self, frame: int) -> None:
         """Drop the block in ``frame`` without write-back."""
-        if self._tags[frame] is None:
+        stored = self._tags[frame]
+        if stored is None:
             return
         self._tags[frame] = None
         self._dirty[frame] = False
         self._arrival[frame] = -1
         self._mru.remove(frame)
+        del self._index[stored]
 
     def invalidate_all(self) -> None:
         """Flush the set (no write-backs; the paper's cold-start flush)."""
@@ -135,13 +147,14 @@ class CacheSet:
             self._dirty[frame] = False
             self._arrival[frame] = -1
         self._mru.clear()
+        self._index.clear()
 
     def mru_distance(self, tag: int) -> Optional[int]:
         """1-based recency rank of ``tag`` (1 = most recent), or ``None``."""
-        for index, frame in enumerate(self._mru):
-            if self._tags[frame] == tag:
-                return index + 1
-        return None
+        frame = self._index.get(tag)
+        if frame is None:
+            return None
+        return self._mru.index(frame) + 1
 
     def check_invariants(self) -> None:
         """Raise :class:`SimulationError` if internal state is inconsistent."""
@@ -156,6 +169,14 @@ class CacheSet:
         for frame in range(len(self._tags)):
             if self._dirty[frame] and self._tags[frame] is None:
                 raise SimulationError("dirty bit set on an invalid frame")
+        if len(self._index) != len(valid):
+            raise SimulationError("tag index size disagrees with valid frames")
+        for frame, stored in enumerate(self._tags):
+            if stored is not None and self._index.get(stored) != frame:
+                raise SimulationError(
+                    f"tag index out of sync: tag {stored} maps to "
+                    f"{self._index.get(stored)}, stored in frame {frame}"
+                )
 
     def __repr__(self) -> str:
         return f"CacheSet(tags={self._tags}, mru={self._mru})"

@@ -34,6 +34,11 @@ from repro.core.banked import (
     expected_banked_hit_probes,
     expected_banked_miss_probes,
 )
+from repro.core.engine import (
+    EngineChannel,
+    FusedProbeEngine,
+    MruDistanceStats,
+)
 from repro.core.mru import MRULookup
 from repro.core.naive import NaiveLookup
 from repro.core.partial import PartialCompareLookup
@@ -52,11 +57,14 @@ from repro.core.transforms import (
 __all__ = [
     "BankedLookup",
     "BitSwapTransform",
+    "EngineChannel",
+    "FusedProbeEngine",
     "IdentityTransform",
     "ImprovedXorTransform",
     "LookupOutcome",
     "LookupScheme",
     "MRULookup",
+    "MruDistanceStats",
     "NaiveLookup",
     "PartialCompareLookup",
     "SetView",

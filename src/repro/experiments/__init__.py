@@ -15,7 +15,9 @@ from repro.experiments.configs import (
 from repro.experiments.runner import (
     ConfigResult,
     ExperimentRunner,
+    ParallelSweepRunner,
     SchemeResult,
+    SweepPoint,
 )
 from repro.experiments.sweeps import (
     associativity_sweep,
@@ -34,7 +36,9 @@ __all__ = [
     "CacheGeometry",
     "ConfigResult",
     "ExperimentRunner",
+    "ParallelSweepRunner",
     "SchemeResult",
+    "SweepPoint",
     "TABLE4_CONFIGS",
     "associativity_sweep",
     "build_figure3",

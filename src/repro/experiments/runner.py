@@ -1,24 +1,46 @@
-"""Simulation runner: one L1 pass per L1 geometry, many instrumented
-L2 replays on top of it.
+"""Simulation runners: one L1 pass per L1 geometry, many instrumented
+L2 replays on top of it — serially or across worker processes.
 
-The runner caches captured miss streams keyed by (workload identity,
-L1 geometry), so the full Table 4 grid (8 configs x 3 associativities
-x all schemes) costs three L1 passes plus cheap L2 replays.
+Three layers of reuse keep the full Table 4 grid (8 configs x 3
+associativities x all schemes) affordable:
+
+- captured L1 miss streams are memoized process-wide, content-addressed
+  by (workload identity, L1 geometry)
+  (:func:`~repro.cache.hierarchy.cached_miss_stream`), so L2-only
+  sweeps never re-simulate the L1;
+- each replay uses the fused probe-accounting engine
+  (:class:`~repro.core.engine.FusedProbeEngine`) by default, computing
+  every scheme's probes from one set of shared lookup facts per access
+  (pass ``use_engine=False`` for the legacy observer reference path);
+- :meth:`ExperimentRunner.run_segmented` shards one replay across
+  ``multiprocessing`` workers at the stream's cold-start boundaries and
+  merges the per-shard :class:`~repro.core.probes.ProbeAccumulator`\\ s,
+  while :class:`ParallelSweepRunner` shards whole sweep points. Both
+  are bit-identical to the serial path for a fixed workload seed.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.direct_mapped import DirectMappedCache
-from repro.cache.hierarchy import MissStream, capture_miss_stream, replay_miss_stream
+from repro.cache.hierarchy import (
+    MissStream,
+    cached_miss_stream,
+    replay_miss_stream,
+    split_stream_at_flushes,
+)
 from repro.cache.observers import MruDistanceObserver, ProbeObserver
 from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.stats import CacheStats
 from repro.core.analysis import default_subsets
+from repro.core.engine import FusedProbeEngine, MruDistanceStats
 from repro.core.mru import MRULookup
 from repro.core.naive import NaiveLookup
 from repro.core.partial import PartialCompareLookup
+from repro.core.probes import ProbeAccumulator
 from repro.core.traditional import TraditionalLookup
 from repro.experiments.configs import (
     DEFAULT_TAG_BITS,
@@ -73,28 +95,208 @@ class ConfigResult:
         return min(candidates, key=lambda label: candidates[label].total)
 
 
+def _scheme_plan(
+    associativity: int,
+    tag_bits: int,
+    transforms: Sequence[str],
+    mru_list_lengths: Sequence[int],
+    extra_tag_bits: Sequence[int],
+) -> List[Tuple[str, object]]:
+    """Ordered (label, scheme) pairs for one instrumented replay.
+
+    Aliased labels (``partial`` and ``partial/<first transform>/t<tag
+    bits>``) share one scheme instance, so the fused engine computes
+    their probes once per access.
+    """
+    plan: List[Tuple[str, object]] = [
+        ("traditional", TraditionalLookup(associativity)),
+        ("naive", NaiveLookup(associativity)),
+        ("mru", MRULookup(associativity)),
+    ]
+    for length in mru_list_lengths:
+        plan.append(
+            (f"mru/m{length}", MRULookup(associativity, list_length=length))
+        )
+    widths = [tag_bits] + [b for b in extra_tag_bits if b != tag_bits]
+    for width in widths:
+        subsets = default_subsets(associativity, width)
+        for transform in transforms:
+            scheme = PartialCompareLookup(
+                associativity,
+                tag_bits=width,
+                subsets=subsets,
+                transform=transform,
+            )
+            if width == tag_bits and transform == transforms[0]:
+                plan.append(("partial", scheme))
+            plan.append((f"partial/{transform}/t{width}", scheme))
+    return plan
+
+
+def _instrument(
+    cache: SetAssociativeCache,
+    plan: Sequence[Tuple[str, object]],
+    writeback_optimization: bool,
+    use_engine: bool,
+):
+    """Attach probe accounting for ``plan`` to ``cache``.
+
+    Returns ``(accumulators, distance)`` where ``accumulators`` maps
+    labels to :class:`~repro.core.probes.ProbeAccumulator` and
+    ``distance`` tracks the MRU hit-distance histogram — either through
+    the fused engine (default) or the legacy observer reference path.
+    """
+    accumulators: Dict[str, ProbeAccumulator] = {}
+    if use_engine:
+        engine = FusedProbeEngine(cache.associativity)
+        for label, scheme in plan:
+            channel = engine.add_scheme(
+                scheme,
+                writeback_optimization=writeback_optimization,
+                label=label,
+            )
+            accumulators[label] = channel.accumulator
+        distance = engine.add_mru_distance()
+        cache.attach_engine(engine)
+        return accumulators, distance
+    for label, scheme in plan:
+        observer = ProbeObserver(
+            scheme,
+            writeback_optimization=writeback_optimization,
+            label=label,
+        )
+        accumulators[label] = observer.accumulator
+        cache.attach(observer)
+    distance = MruDistanceObserver(cache.associativity)
+    cache.attach(distance)
+    return accumulators, distance
+
+
+def _assemble_result(
+    l1: CacheGeometry,
+    l2: CacheGeometry,
+    associativity: int,
+    stats: CacheStats,
+    processor_references: int,
+    l1_miss_ratio: float,
+    accumulators: Dict[str, ProbeAccumulator],
+    distance,
+) -> ConfigResult:
+    """Fold raw counters into a :class:`ConfigResult`."""
+    processor_refs = max(1, processor_references)
+    result = ConfigResult(
+        l1=l1,
+        l2=l2,
+        associativity=associativity,
+        global_miss_ratio=stats.readin_misses / processor_refs,
+        local_miss_ratio=stats.local_miss_ratio,
+        fraction_writebacks=stats.fraction_writebacks,
+        l1_miss_ratio=l1_miss_ratio,
+        writeback_miss_ratio=(
+            stats.writeback_misses / stats.writebacks
+            if stats.writebacks
+            else 0.0
+        ),
+        mru_distribution=distance.distribution(),
+        mru_update_fraction=distance.update_fraction,
+    )
+    for label, acc in accumulators.items():
+        result.schemes[label] = SchemeResult(
+            label=label,
+            hits=acc.hits_including_writebacks,
+            misses=acc.probes_per_miss,
+            total=acc.probes_per_access,
+            readin_hits=acc.probes_per_hit,
+        )
+    return result
+
+
+def _replay_segment(payload):
+    """Worker: replay one stream segment into a fresh instrumented L2.
+
+    Returns the raw counters — cache stats, per-label accumulators,
+    and the distance histogram — for order-preserving merge in the
+    parent. Each segment starts at a cold-start boundary, so a fresh
+    cache reproduces exactly the state the serial replay would have.
+    """
+    (l2, associativity, segment, plan_args, writeback_optimization,
+     use_engine) = payload
+    cache = SetAssociativeCache(
+        l2.capacity_bytes, l2.block_size, associativity
+    )
+    accumulators, distance = _instrument(
+        cache, _scheme_plan(associativity, *plan_args),
+        writeback_optimization, use_engine,
+    )
+    replay_miss_stream(segment, cache)
+    if cache.engine is not None:
+        cache.engine.finalize()
+    return cache.stats, accumulators, distance
+
+
+def _run_sweep_shard(payload):
+    """Worker: run a batch of sweep points sharing one L1 geometry."""
+    workload, use_engine, points = payload
+    runner = ExperimentRunner(workload, use_engine=use_engine)
+    return [
+        (index, runner.run(
+            point.l1,
+            point.l2,
+            point.associativity,
+            tag_bits=point.tag_bits,
+            transforms=point.transforms,
+            mru_list_lengths=point.mru_list_lengths,
+            extra_tag_bits=point.extra_tag_bits,
+            writeback_optimization=point.writeback_optimization,
+        ))
+        for index, point in points
+    ]
+
+
+def _pool_context():
+    """Best multiprocessing context: fork shares memoized miss streams."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
 class ExperimentRunner:
     """Runs instrumented two-level simulations with miss-stream reuse.
 
     Args:
         workload: Reference workload; defaults to
             :func:`~repro.experiments.configs.default_workload`.
+        use_engine: Account probes through the fused engine (default).
+            ``False`` selects the legacy per-observer lookup path — the
+            reference implementation the engine is differential-tested
+            against; results are bit-identical either way.
     """
 
-    def __init__(self, workload: Optional[AtumWorkload] = None) -> None:
+    def __init__(
+        self,
+        workload: Optional[AtumWorkload] = None,
+        use_engine: bool = True,
+    ) -> None:
         self.workload = workload if workload is not None else default_workload()
+        self.use_engine = use_engine
         self._streams: Dict[str, MissStream] = {}
         self._l1_stats: Dict[str, float] = {}
         self._results: Dict[tuple, ConfigResult] = {}
 
     def miss_stream(self, l1: CacheGeometry) -> MissStream:
-        """Captured L1 request stream for ``l1`` (cached per geometry)."""
+        """Captured L1 request stream for ``l1``.
+
+        Content-addressed and memoized process-wide, so every runner on
+        the same workload shares one capture per L1 geometry.
+        """
         key = l1.label
         if key not in self._streams:
-            cache = DirectMappedCache(l1.capacity_bytes, l1.block_size)
-            stream = capture_miss_stream(iter(self.workload), cache)
+            stream, miss_ratio = cached_miss_stream(
+                self.workload, l1.capacity_bytes, l1.block_size
+            )
             self._streams[key] = stream
-            self._l1_stats[key] = cache.stats.readin_miss_ratio
+            self._l1_stats[key] = miss_ratio
         return self._streams[key]
 
     def l1_miss_ratio(self, l1: CacheGeometry) -> float:
@@ -141,67 +343,172 @@ class ExperimentRunner:
         cache = SetAssociativeCache(
             l2.capacity_bytes, l2.block_size, associativity
         )
-        observers: Dict[str, ProbeObserver] = {}
-
-        def attach(label: str, scheme) -> None:
-            observer = ProbeObserver(
-                scheme,
-                writeback_optimization=writeback_optimization,
-                label=label,
-            )
-            observers[label] = observer
-            cache.attach(observer)
-
-        attach("traditional", TraditionalLookup(associativity))
-        attach("naive", NaiveLookup(associativity))
-        attach("mru", MRULookup(associativity))
-        for length in mru_list_lengths:
-            attach(f"mru/m{length}", MRULookup(associativity, list_length=length))
-
-        widths = [tag_bits] + [b for b in extra_tag_bits if b != tag_bits]
-        for width in widths:
-            subsets = default_subsets(associativity, width)
-            for transform in transforms:
-                scheme = PartialCompareLookup(
-                    associativity,
-                    tag_bits=width,
-                    subsets=subsets,
-                    transform=transform,
-                )
-                if width == tag_bits and transform == transforms[0]:
-                    attach("partial", scheme)
-                attach(f"partial/{transform}/t{width}", scheme)
-
-        distance = MruDistanceObserver(associativity)
-        cache.attach(distance)
-
-        replay_miss_stream(stream, cache)
-
-        processor_refs = max(1, stream.processor_references)
-        result = ConfigResult(
-            l1=l1,
-            l2=l2,
-            associativity=associativity,
-            global_miss_ratio=cache.stats.readin_misses / processor_refs,
-            local_miss_ratio=cache.stats.local_miss_ratio,
-            fraction_writebacks=cache.stats.fraction_writebacks,
-            l1_miss_ratio=self.l1_miss_ratio(l1),
-            writeback_miss_ratio=(
-                cache.stats.writeback_misses / cache.stats.writebacks
-                if cache.stats.writebacks
-                else 0.0
-            ),
-            mru_distribution=distance.distribution(),
-            mru_update_fraction=distance.update_fraction,
+        plan = _scheme_plan(
+            associativity, tag_bits, tuple(transforms),
+            tuple(mru_list_lengths), tuple(extra_tag_bits),
         )
-        for label, observer in observers.items():
-            acc = observer.accumulator
-            result.schemes[label] = SchemeResult(
-                label=label,
-                hits=acc.hits_including_writebacks,
-                misses=acc.probes_per_miss,
-                total=acc.probes_per_access,
-                readin_hits=acc.probes_per_hit,
-            )
+        accumulators, distance = _instrument(
+            cache, plan, writeback_optimization, self.use_engine
+        )
+        replay_miss_stream(stream, cache)
+        if cache.engine is not None:
+            cache.engine.finalize()
+
+        result = _assemble_result(
+            l1, l2, associativity, cache.stats,
+            stream.processor_references, self.l1_miss_ratio(l1),
+            accumulators, distance,
+        )
         self._results[cache_key] = result
         return result
+
+    def run_segmented(
+        self,
+        l1: "CacheGeometry | str",
+        l2: "CacheGeometry | str",
+        associativity: int,
+        processes: Optional[int] = None,
+        tag_bits: int = DEFAULT_TAG_BITS,
+        transforms: Sequence[str] = ("xor",),
+        mru_list_lengths: Sequence[int] = (),
+        extra_tag_bits: Sequence[int] = (),
+        writeback_optimization: bool = True,
+    ) -> ConfigResult:
+        """Like :meth:`run`, but sharding the replay across processes.
+
+        The captured stream is split at its cold-start (flush)
+        boundaries; each segment replays into a fresh instrumented L2
+        in a worker process, and the per-segment cache stats,
+        :class:`~repro.core.probes.ProbeAccumulator`\\ s, and distance
+        histograms are merged in segment order. Because every segment
+        starts cold and the default replacement is deterministic (true
+        LRU), the merged counters — and hence the result — are
+        bit-identical to the serial :meth:`run`.
+
+        Args:
+            processes: Worker count; defaults to the CPU count, capped
+                at the number of segments. ``1`` replays inline.
+        """
+        if isinstance(l1, str):
+            l1 = parse_geometry(l1)
+        if isinstance(l2, str):
+            l2 = parse_geometry(l2)
+        stream = self.miss_stream(l1)
+        segments = split_stream_at_flushes(stream)
+        plan_args = (
+            tag_bits, tuple(transforms), tuple(mru_list_lengths),
+            tuple(extra_tag_bits),
+        )
+        payloads = [
+            (l2, associativity, segment, plan_args,
+             writeback_optimization, self.use_engine)
+            for segment in segments
+        ]
+        if processes is None:
+            processes = os.cpu_count() or 1
+        processes = max(1, min(processes, len(payloads) or 1))
+        if processes == 1:
+            shards = [_replay_segment(payload) for payload in payloads]
+        else:
+            with _pool_context().Pool(processes) as pool:
+                shards = pool.map(_replay_segment, payloads)
+
+        stats = CacheStats()
+        accumulators: Dict[str, ProbeAccumulator] = {}
+        distance = (
+            MruDistanceStats(associativity)
+            if self.use_engine
+            else MruDistanceObserver(associativity)
+        )
+        for shard_stats, shard_accs, shard_distance in shards:
+            stats.merge(shard_stats)
+            for label, acc in shard_accs.items():
+                merged = accumulators.get(label)
+                if merged is None:
+                    accumulators[label] = acc
+                else:
+                    merged.merge(acc)
+            _merge_distance(distance, shard_distance)
+
+        return _assemble_result(
+            l1, l2, associativity, stats, stream.processor_references,
+            self.l1_miss_ratio(l1), accumulators, distance,
+        )
+
+
+def _merge_distance(target, other) -> None:
+    """Merge two MRU-distance histograms (engine stats or observers)."""
+    target.hits += other.hits
+    target.accesses += other.accesses
+    target.updates += other.updates
+    for dist, count in other.counts.items():
+        target.counts[dist] = target.counts.get(dist, 0) + count
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (L1, L2, associativity) sweep point with its run options."""
+
+    l1: str
+    l2: str
+    associativity: int
+    tag_bits: int = DEFAULT_TAG_BITS
+    transforms: Tuple[str, ...] = ("xor",)
+    mru_list_lengths: Tuple[int, ...] = ()
+    extra_tag_bits: Tuple[int, ...] = ()
+    writeback_optimization: bool = True
+
+
+class ParallelSweepRunner:
+    """Shards independent sweep points across worker processes.
+
+    Every worker derives its trace deterministically from the shared
+    workload seed, and results come back in input order, so a parallel
+    sweep is byte-identical to running the points serially through an
+    :class:`ExperimentRunner` — only wall-clock changes. Points are
+    grouped by L1 geometry per shard so each worker captures any given
+    L1 miss stream at most once (and, on fork platforms, inherits
+    streams already memoized in the parent).
+
+    Args:
+        workload: Shared workload; defaults to
+            :func:`~repro.experiments.configs.default_workload`.
+        processes: Worker count; defaults to the CPU count.
+        use_engine: Forwarded to the per-worker runners.
+    """
+
+    def __init__(
+        self,
+        workload: Optional[AtumWorkload] = None,
+        processes: Optional[int] = None,
+        use_engine: bool = True,
+    ) -> None:
+        self.workload = workload if workload is not None else default_workload()
+        self.processes = processes
+        self.use_engine = use_engine
+
+    def run_points(self, points: Sequence[SweepPoint]) -> List[ConfigResult]:
+        """Run every point, in parallel, preserving input order."""
+        if not points:
+            return []
+        by_l1: Dict[str, List[Tuple[int, SweepPoint]]] = {}
+        for index, point in enumerate(points):
+            by_l1.setdefault(point.l1, []).append((index, point))
+        shards = [
+            (self.workload, self.use_engine, group)
+            for group in by_l1.values()
+        ]
+        processes = self.processes
+        if processes is None:
+            processes = os.cpu_count() or 1
+        processes = max(1, min(processes, len(shards)))
+        if processes == 1:
+            outputs = [_run_sweep_shard(shard) for shard in shards]
+        else:
+            with _pool_context().Pool(processes) as pool:
+                outputs = pool.map(_run_sweep_shard, shards)
+        results: List[Optional[ConfigResult]] = [None] * len(points)
+        for output in outputs:
+            for index, result in output:
+                results[index] = result
+        return results

@@ -103,6 +103,22 @@ class AtumWorkload:
         """Total reference count, excluding FLUSH sentinels."""
         return self.segments * self.references_per_segment
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of the generated reference stream.
+
+        Two workloads with equal keys generate identical traces, so
+        captured miss streams can be content-addressed by this key plus
+        the L1 geometry (see
+        :func:`~repro.cache.hierarchy.cached_miss_stream`).
+        """
+        return (
+            self.segments,
+            self.references_per_segment,
+            self.seed,
+            self.cold_start,
+            self.params,
+        )
+
     def __iter__(self) -> Iterator[Reference]:
         for segment in range(self.segments):
             if segment > 0 and self.cold_start:

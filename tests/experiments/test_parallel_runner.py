@@ -1,0 +1,155 @@
+"""Parallel execution paths are bit-identical to the serial runner.
+
+Both parallel layers — segment-sharded replay
+(:meth:`~repro.experiments.runner.ExperimentRunner.run_segmented`) and
+point-sharded sweeps
+(:class:`~repro.experiments.runner.ParallelSweepRunner`) — must
+reproduce the serial :meth:`~repro.experiments.runner.ExperimentRunner.run`
+results exactly for a fixed workload seed: every worker derives its
+trace deterministically and the merged counters are integer sums.
+"""
+
+import pytest
+
+from repro.cache.hierarchy import (
+    cached_miss_stream,
+    clear_miss_stream_cache,
+    split_stream_at_flushes,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ParallelSweepRunner,
+    SweepPoint,
+)
+from repro.trace.synthetic import AtumWorkload
+
+
+def small_workload():
+    return AtumWorkload(segments=3, references_per_segment=4_000, seed=19)
+
+
+def assert_results_identical(actual, expected):
+    assert actual.global_miss_ratio == expected.global_miss_ratio
+    assert actual.local_miss_ratio == expected.local_miss_ratio
+    assert actual.fraction_writebacks == expected.fraction_writebacks
+    assert actual.l1_miss_ratio == expected.l1_miss_ratio
+    assert actual.writeback_miss_ratio == expected.writeback_miss_ratio
+    assert actual.mru_distribution == expected.mru_distribution
+    assert actual.mru_update_fraction == expected.mru_update_fraction
+    assert set(actual.schemes) == set(expected.schemes)
+    for label, scheme in expected.schemes.items():
+        got = actual.schemes[label]
+        assert got.hits == scheme.hits, label
+        assert got.misses == scheme.misses, label
+        assert got.total == scheme.total, label
+        assert got.readin_hits == scheme.readin_hits, label
+
+
+@pytest.mark.parametrize("processes", [1, 2])
+def test_run_segmented_matches_serial(processes):
+    workload = small_workload()
+    serial = ExperimentRunner(workload).run("4K-16", "64K-32", 4)
+    segmented = ExperimentRunner(workload).run_segmented(
+        "4K-16", "64K-32", 4, processes=processes
+    )
+    assert_results_identical(segmented, serial)
+
+
+def test_run_segmented_matches_serial_legacy_path():
+    workload = small_workload()
+    serial = ExperimentRunner(workload, use_engine=False).run(
+        "4K-16", "64K-32", 4
+    )
+    segmented = ExperimentRunner(workload, use_engine=False).run_segmented(
+        "4K-16", "64K-32", 4, processes=2
+    )
+    assert_results_identical(segmented, serial)
+
+
+def test_run_segmented_with_options():
+    workload = small_workload()
+    kwargs = dict(
+        mru_list_lengths=(1, 2),
+        transforms=("xor", "swap"),
+        writeback_optimization=False,
+    )
+    serial = ExperimentRunner(workload).run("4K-16", "64K-32", 4, **kwargs)
+    segmented = ExperimentRunner(workload).run_segmented(
+        "4K-16", "64K-32", 4, processes=2, **kwargs
+    )
+    assert_results_identical(segmented, serial)
+
+
+@pytest.mark.parametrize("processes", [1, 2])
+def test_parallel_sweep_matches_serial(processes):
+    workload = small_workload()
+    points = [
+        SweepPoint("4K-16", "64K-32", 2),
+        SweepPoint("4K-16", "64K-32", 4),
+        SweepPoint("8K-16", "64K-32", 4),
+        SweepPoint("4K-16", "128K-32", 4, mru_list_lengths=(1,)),
+    ]
+    serial_runner = ExperimentRunner(workload)
+    expected = [
+        serial_runner.run(
+            p.l1, p.l2, p.associativity,
+            tag_bits=p.tag_bits,
+            transforms=p.transforms,
+            mru_list_lengths=p.mru_list_lengths,
+            extra_tag_bits=p.extra_tag_bits,
+            writeback_optimization=p.writeback_optimization,
+        )
+        for p in points
+    ]
+    parallel = ParallelSweepRunner(workload, processes=processes)
+    results = parallel.run_points(points)
+    assert len(results) == len(points)
+    for got, want in zip(results, expected):
+        assert_results_identical(got, want)
+
+
+def test_parallel_sweep_empty():
+    assert ParallelSweepRunner(small_workload()).run_points([]) == []
+
+
+def test_engine_and_legacy_runner_results_identical():
+    """The runner's two instrumentation paths agree end to end."""
+    workload = small_workload()
+    engine_result = ExperimentRunner(workload, use_engine=True).run(
+        "4K-16", "64K-32", 4, mru_list_lengths=(2,), transforms=("xor", "swap")
+    )
+    legacy_result = ExperimentRunner(workload, use_engine=False).run(
+        "4K-16", "64K-32", 4, mru_list_lengths=(2,), transforms=("xor", "swap")
+    )
+    assert_results_identical(engine_result, legacy_result)
+
+
+def test_cached_miss_stream_is_shared():
+    """Same workload + L1 geometry: one capture, shared object."""
+    clear_miss_stream_cache()
+    workload = small_workload()
+    first, ratio_a = cached_miss_stream(workload, 4096, 16)
+    second, ratio_b = cached_miss_stream(
+        small_workload(), 4096, 16
+    )
+    assert first is second
+    assert ratio_a == ratio_b
+    other, _ = cached_miss_stream(workload, 8192, 16)
+    assert other is not first
+    clear_miss_stream_cache()
+
+
+def test_split_stream_at_flushes_partitions_events():
+    from repro.cache.hierarchy import FLUSH_MARKER
+
+    workload = small_workload()
+    stream, _ = cached_miss_stream(workload, 4096, 16)
+    segments = split_stream_at_flushes(stream)
+    assert len(segments) == workload.segments
+    flushes = sum(1 for event in stream.events if event == FLUSH_MARKER)
+    total = sum(len(segment.events) for segment in segments)
+    assert total == len(stream.events) - flushes
+    recombined = [event for segment in segments for event in segment.events]
+    assert recombined == [e for e in stream.events if e != FLUSH_MARKER]
+    assert segments[0].processor_references == stream.processor_references
+    assert all(s.processor_references == 0 for s in segments[1:])
