@@ -14,6 +14,11 @@ Usage::
 The JSON schema is ``{"workload": {...}, "results": {name: {...}}}``
 with per-configuration best wall-clock seconds, requests/second, and
 the derived speedup of the fused engine over the legacy observer path.
+Every results entry is stamped with the run's provenance: the
+manifest's ``config_hash`` and the configuration's per-phase timings,
+and the full manifest + JSONL span trace are written next to the
+output (``<output>.manifest.json`` / ``<output>.trace.jsonl``), so a
+benchmark trajectory of many JSON files stays self-describing.
 """
 
 from __future__ import annotations
@@ -31,6 +36,9 @@ from repro.core.engine import FusedProbeEngine
 from repro.core.mru import MRULookup
 from repro.core.naive import NaiveLookup
 from repro.core.partial import PartialCompareLookup
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
 from repro.trace.synthetic import AtumWorkload
 
 L1_CAPACITY = 4096
@@ -97,7 +105,17 @@ def main(argv=None) -> int:
     workload = AtumWorkload(
         segments=1, references_per_segment=args.references, seed=21
     )
-    stream, _ = cached_miss_stream(workload, L1_CAPACITY, L1_BLOCK)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    config = {
+        "references_per_segment": args.references,
+        "repetitions": args.repetitions,
+        "seed": 21,
+        "l1": f"{L1_CAPACITY}B/{L1_BLOCK}B",
+        "l2": f"{L2_CAPACITY}B/{L2_BLOCK}B/a{ASSOCIATIVITY}",
+    }
+    with tracer.span("l1_capture"):
+        stream, _ = cached_miss_stream(workload, L1_CAPACITY, L1_BLOCK)
     requests = len(stream)
 
     configurations = {
@@ -107,11 +125,16 @@ def main(argv=None) -> int:
     }
     results = {}
     for name, make_cache in configurations.items():
-        seconds = best_time(stream, make_cache, args.repetitions)
+        with tracer.span(name, repetitions=args.repetitions):
+            seconds = best_time(stream, make_cache, args.repetitions)
+        timing = tracer.records[-1]
+        metrics.histogram("bench.best_seconds").observe(seconds)
         results[name] = {
             "best_seconds": seconds,
             "requests": requests,
             "requests_per_second": requests / seconds,
+            "phase_wall_seconds": timing.wall_seconds,
+            "phase_cpu_seconds": timing.cpu_seconds,
         }
         print(
             f"{name:30s} {seconds * 1e3:8.2f} ms   "
@@ -127,6 +150,17 @@ def main(argv=None) -> int:
     }
     print(f"fused engine speedup over legacy observers: {legacy / fused:.2f}x")
 
+    output = Path(args.output)
+    manifest = RunManifest.build(
+        tool="run_benchmarks",
+        config=config,
+        workload=workload,
+        tracer=tracer,
+        metrics=metrics,
+        extra={"results_file": output.name},
+    )
+    for entry in results.values():
+        entry["config_hash"] = manifest.config_hash
     payload = {
         "workload": {
             "segments": 1,
@@ -136,11 +170,17 @@ def main(argv=None) -> int:
             "l2": f"{L2_CAPACITY}B/{L2_BLOCK}B/a{ASSOCIATIVITY}",
             "l2_requests": requests,
         },
+        "config_hash": manifest.config_hash,
+        "phases": tracer.phase_timings(),
         "results": results,
         "summary": summary,
     }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    manifest_path = manifest.write(output.with_suffix(".manifest.json"))
+    trace_path = output.with_suffix(".trace.jsonl")
+    tracer.write_jsonl(trace_path)
+    print(f"wrote {output}")
+    print(f"wrote {manifest_path} and {trace_path}")
     return 0
 
 

@@ -12,7 +12,10 @@ The package is organized as:
   ATUM-like multiprogrammed workload;
 - :mod:`repro.hardware` — the Table 2 board-level cost/timing model;
 - :mod:`repro.experiments` — configurations, runners, and the
-  table/figure builders that regenerate the paper's evaluation.
+  table/figure builders that regenerate the paper's evaluation;
+- :mod:`repro.obs` — the observability layer: tracing spans, the
+  metrics registry, run provenance manifests, structured logging, and
+  live sweep progress (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -51,6 +54,7 @@ from repro.errors import (
     ConfigurationError,
     ReproError,
     SimulationError,
+    SweepPointError,
     TraceFormatError,
 )
 from repro.trace import AccessKind, AtumWorkload, Reference
@@ -75,6 +79,7 @@ __all__ = [
     "SetAssociativeCache",
     "SetView",
     "SimulationError",
+    "SweepPointError",
     "TraceFormatError",
     "TraditionalLookup",
     "TwoLevelHierarchy",

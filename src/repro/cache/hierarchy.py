@@ -14,12 +14,15 @@ the full Table 4 sweep affordable.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
 from repro.cache.direct_mapped import DirectMappedCache, MemoryRequest, RequestKind
 from repro.cache.set_associative import SetAssociativeCache
 from repro.cache.stats import HierarchyStats
+from repro.obs.metrics import get_metrics
+from repro.obs.spans import span
 from repro.trace.reference import Reference
 
 
@@ -316,17 +319,35 @@ def cached_miss_stream(
     :class:`~repro.experiments.runner.ExperimentRunner` instances —
     never re-simulate the L1 for a workload they have already seen.
 
+    Cache behavior is published to the process metrics registry
+    (``miss_stream.cache_hits`` / ``miss_stream.cache_misses``), and
+    each capture — the expensive phase — runs under an ``l1_capture``
+    tracing span with its wall time recorded in the
+    ``miss_stream.capture_seconds`` histogram. Instrumentation wraps
+    the whole capture, never the per-reference loop.
+
     Returns:
         ``(stream, l1_readin_miss_ratio)``. The stream is shared;
         callers must treat it as immutable.
     """
     key = (_workload_key(workload), capacity_bytes, block_size)
     entry = _MISS_STREAM_CACHE.get(key)
+    metrics = get_metrics()
     if entry is None:
+        metrics.counter("miss_stream.cache_misses").inc()
         l1 = DirectMappedCache(capacity_bytes, block_size)
-        stream = capture_miss_stream(iter(workload), l1)
+        start = time.perf_counter()
+        with span(
+            "l1_capture", capacity_bytes=capacity_bytes, block_size=block_size
+        ):
+            stream = capture_miss_stream(iter(workload), l1)
+        metrics.histogram("miss_stream.capture_seconds").observe(
+            time.perf_counter() - start
+        )
         entry = (stream, l1.stats.readin_miss_ratio)
         _MISS_STREAM_CACHE[key] = entry
+    else:
+        metrics.counter("miss_stream.cache_hits").inc()
     return entry
 
 

@@ -315,6 +315,9 @@ class FusedProbeEngine:
         self._need_distance = False
         self._need_wb_facts = False
         self._track_updates = False
+        # Counter values already published to a metrics registry, so
+        # repeated publish_metrics calls only add the delta.
+        self._published_counts = [0, 0, 0, 0, 0]
         self._rebuild_observe()
 
     def add_scheme(
@@ -655,6 +658,47 @@ class FusedProbeEngine:
                 for d in range(1, a + 1)
                 if dist_hist[d - 1]
             }
+
+    def publish_metrics(self, registry=None) -> None:
+        """Publish accounting totals as ``engine.*`` metrics, by delta.
+
+        Called once per replay, after :meth:`finalize` — never from the
+        per-access path. Publishes the shared-fact counters
+        (``engine.accesses``, ``engine.readin_hits``,
+        ``engine.readin_misses``, ``engine.writeback_hits``,
+        ``engine.writeback_misses``, ``engine.mru_updates``) plus an
+        ``engine.channels`` gauge. Only the *delta* since the previous
+        publish is added, so calling again mid-session never
+        double-counts; the counters are deterministic functions of the
+        replayed stream, so snapshots merged across workers are
+        bit-identical to a serial run's.
+
+        Args:
+            registry: Target :class:`~repro.obs.metrics.MetricsRegistry`;
+                defaults to the process-global registry.
+        """
+        from repro.obs.metrics import get_metrics
+
+        if registry is None:
+            registry = get_metrics()
+        counts = self._counts
+        published = self._published_counts
+        deltas = [now - before for now, before in zip(counts, published)]
+        names = (
+            "engine.readin_hits",
+            "engine.readin_misses",
+            "engine.writeback_hits",
+            "engine.writeback_misses",
+            "engine.mru_updates",
+        )
+        for name, delta in zip(names, deltas):
+            if delta:
+                registry.counter(name).inc(delta)
+        access_delta = sum(deltas[:_UPDATES])
+        if access_delta:
+            registry.counter("engine.accesses").inc(access_delta)
+        registry.gauge("engine.channels").set(len(self.channels))
+        self._published_counts = list(counts)
 
     def __repr__(self) -> str:
         return (

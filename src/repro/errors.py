@@ -28,3 +28,15 @@ class SimulationError(ReproError):
     This indicates a bug in the library rather than a user error; it is
     raised by internal invariant checks.
     """
+
+
+class SweepPointError(ReproError):
+    """A sweep point failed inside a worker process.
+
+    Raised by the parallel runners in place of the bare worker
+    traceback: the message names the failing
+    :class:`~repro.experiments.runner.SweepPoint` configuration and the
+    original error, and the failure is recorded in the run manifest
+    (when one is being emitted). The original exception is chained as
+    ``__cause__`` where the process boundary allows it.
+    """

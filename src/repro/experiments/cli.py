@@ -5,6 +5,11 @@ Usage::
     repro-tables                     # everything (slow: full trace sims)
     repro-tables table1 table2       # just the analytic/cost tables
     repro-tables fig5 --scale 0.05   # one figure on a smaller workload
+
+Output goes through the :mod:`repro.obs.log` structured logger
+(``REPRO_LOG=debug`` for build events, ``REPRO_LOG=info+json`` for
+JSON lines); with ``--save DIR`` the run's provenance manifest and
+span trace are written into ``DIR`` alongside the artifacts.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ from repro.experiments.tables import (
     build_table3,
     build_table4,
 )
+from repro.obs.log import log
+from repro.obs.spans import get_tracer
 
 _SIMULATED = ("table3", "table4", "fig3", "fig4", "fig5", "fig6")
 _ALL = ("table1", "table2") + _SIMULATED
@@ -63,10 +70,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         parser.error(f"unknown targets: {', '.join(unknown)}")
 
+    save_dir = None
+    if args.save is not None:
+        from pathlib import Path
+
+        save_dir = Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+
     runner = None
     if any(t in _SIMULATED for t in args.targets):
         workload = default_workload(scale=args.scale, seed=args.seed)
-        runner = ExperimentRunner(workload)
+        # With --save, the runner also emits its provenance manifest
+        # and span trace next to the artifacts.
+        runner = ExperimentRunner(workload, obs_dir=save_dir)
 
     builders = {
         "table1": lambda: build_table1(),
@@ -78,22 +94,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig5": lambda: build_figure5(runner),
         "fig6": lambda: build_figure6(runner),
     }
-    save_dir = None
-    if args.save is not None:
-        from pathlib import Path
-
-        save_dir = Path(args.save)
-        save_dir.mkdir(parents=True, exist_ok=True)
-
     for target in args.targets:
+        log.debug("cli.build", target=target)
         start = time.perf_counter()
-        result = builders[target]()
+        with get_tracer().span("build", target=target):
+            result = builders[target]()
         elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{target} built in {elapsed:.1f}s]")
-        print()
+        log.info(result.render())
+        log.info(f"[{target} built in {elapsed:.1f}s]")
+        log.info("")
         if save_dir is not None:
             _save_target(save_dir, target, result)
+    if runner is not None and save_dir is not None:
+        # Not every builder replays an L2 (table3 only reads L1 miss
+        # ratios), so emit the provenance manifest unconditionally.
+        runner.write_obs()
     return 0
 
 

@@ -17,14 +17,24 @@ associativities x all schemes) affordable:
   merges the per-shard :class:`~repro.core.probes.ProbeAccumulator`\\ s,
   while :class:`ParallelSweepRunner` shards whole sweep points. Both
   are bit-identical to the serial path for a fixed workload seed.
+
+Every runner is threaded through the :mod:`repro.obs` observability
+layer — phase tracing spans, a mergeable metrics registry, live
+per-shard progress (``REPRO_PROGRESS=1``), and run provenance
+manifests (pass ``obs_dir=``) — with all instrumentation off the
+per-access hot path: workers publish metric snapshots once per shard,
+and the parent merges them alongside the probe accumulators with the
+same bit-identical discipline.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.hierarchy import (
     MissStream,
@@ -42,12 +52,18 @@ from repro.core.naive import NaiveLookup
 from repro.core.partial import PartialCompareLookup
 from repro.core.probes import ProbeAccumulator
 from repro.core.traditional import TraditionalLookup
+from repro.errors import SweepPointError
 from repro.experiments.configs import (
     DEFAULT_TAG_BITS,
     CacheGeometry,
     default_workload,
     parse_geometry,
 )
+from repro.obs.log import log
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.progress import ProgressReporter
+from repro.obs.spans import Tracer, get_tracer
 from repro.trace.synthetic import AtumWorkload
 
 
@@ -215,12 +231,16 @@ def _replay_segment(payload):
     """Worker: replay one stream segment into a fresh instrumented L2.
 
     Returns the raw counters — cache stats, per-label accumulators,
-    and the distance histogram — for order-preserving merge in the
-    parent. Each segment starts at a cold-start boundary, so a fresh
-    cache reproduces exactly the state the serial replay would have.
+    and the distance histogram — plus an observability record (the
+    worker's metric snapshot and shard wall time) for order-preserving
+    merge in the parent. Each segment starts at a cold-start boundary,
+    so a fresh cache reproduces exactly the state the serial replay
+    would have.
     """
     (l2, associativity, segment, plan_args, writeback_optimization,
      use_engine) = payload
+    shard_metrics = MetricsRegistry()
+    start = time.perf_counter()
     cache = SetAssociativeCache(
         l2.capacity_bytes, l2.block_size, associativity
     )
@@ -231,26 +251,61 @@ def _replay_segment(payload):
     replay_miss_stream(segment, cache)
     if cache.engine is not None:
         cache.engine.finalize()
-    return cache.stats, accumulators, distance
+        cache.engine.publish_metrics(shard_metrics)
+    obs = {
+        "metrics": shard_metrics.snapshot(),
+        "seconds": time.perf_counter() - start,
+    }
+    return cache.stats, accumulators, distance, obs
+
+
+#: Progress queue inherited by forked sweep workers.
+#: :meth:`ParallelSweepRunner.run_points` sets it immediately before
+#: creating the worker pool and clears it after; ``None`` disables
+#: worker-side reporting (serial runs and spawn platforms).
+_PROGRESS_QUEUE = None
 
 
 def _run_sweep_shard(payload):
-    """Worker: run a batch of sweep points sharing one L1 geometry."""
-    workload, use_engine, points = payload
-    runner = ExperimentRunner(workload, use_engine=use_engine)
-    return [
-        (index, runner.run(
-            point.l1,
-            point.l2,
-            point.associativity,
-            tag_bits=point.tag_bits,
-            transforms=point.transforms,
-            mru_list_lengths=point.mru_list_lengths,
-            extra_tag_bits=point.extra_tag_bits,
-            writeback_optimization=point.writeback_optimization,
-        ))
-        for index, point in points
-    ]
+    """Worker: run a batch of sweep points sharing one L1 geometry.
+
+    Emits started/finished events through the inherited progress queue
+    (when one is set), wraps any per-point failure in
+    :class:`~repro.errors.SweepPointError` naming the failing
+    configuration, and returns ``(indexed_results, metric_snapshot)``
+    for order-preserving merge in the parent.
+    """
+    shard_index, workload, use_engine, points = payload
+    queue = _PROGRESS_QUEUE
+    detail = f"l1={points[0][1].l1}, {len(points)} points"
+    if queue is not None:
+        queue.put(("started", shard_index, detail))
+    runner = ExperimentRunner(
+        workload, use_engine=use_engine,
+        metrics=MetricsRegistry(), tracer=Tracer(),
+    )
+    results = []
+    for index, point in points:
+        try:
+            results.append((index, runner.run(
+                point.l1,
+                point.l2,
+                point.associativity,
+                tag_bits=point.tag_bits,
+                transforms=point.transforms,
+                mru_list_lengths=point.mru_list_lengths,
+                extra_tag_bits=point.extra_tag_bits,
+                writeback_optimization=point.writeback_optimization,
+            )))
+        except SweepPointError:
+            raise
+        except Exception as exc:
+            raise SweepPointError(
+                f"sweep point {point!r} failed: {type(exc).__name__}: {exc}"
+            ) from exc
+    if queue is not None:
+        queue.put(("finished", shard_index, detail))
+    return results, runner.metrics.snapshot()
 
 
 def _pool_context():
@@ -271,18 +326,34 @@ class ExperimentRunner:
             ``False`` selects the legacy per-observer lookup path — the
             reference implementation the engine is differential-tested
             against; results are bit-identical either way.
+        metrics: Target :class:`~repro.obs.metrics.MetricsRegistry` for
+            ``engine.*`` and ``runner.*`` metrics; defaults to the
+            process-global registry.
+        tracer: Target :class:`~repro.obs.spans.Tracer` for phase
+            spans; defaults to the process-global tracer.
+        obs_dir: When set, every completed run rewrites a provenance
+            ``manifest.json`` (covering all runs so far) and the span
+            ``trace.jsonl`` in this directory — see
+            :meth:`write_obs`.
     """
 
     def __init__(
         self,
         workload: Optional[AtumWorkload] = None,
         use_engine: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        obs_dir=None,
     ) -> None:
         self.workload = workload if workload is not None else default_workload()
         self.use_engine = use_engine
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
         self._streams: Dict[str, MissStream] = {}
         self._l1_stats: Dict[str, float] = {}
         self._results: Dict[tuple, ConfigResult] = {}
+        self._run_log: List[Dict[str, Any]] = []
 
     def miss_stream(self, l1: CacheGeometry) -> MissStream:
         """Captured L1 request stream for ``l1``.
@@ -337,6 +408,7 @@ class ExperimentRunner:
         )
         cached = self._results.get(cache_key)
         if cached is not None:
+            self.metrics.counter("runner.result_cache_hits").inc()
             return cached
         stream = self.miss_stream(l1)
 
@@ -350,9 +422,16 @@ class ExperimentRunner:
         accumulators, distance = _instrument(
             cache, plan, writeback_optimization, self.use_engine
         )
-        replay_miss_stream(stream, cache)
+        self.metrics.counter("runner.replays").inc()
+        with self.tracer.span(
+            "l2_replay",
+            l1=l1.label, l2=l2.label, associativity=associativity,
+        ):
+            replay_miss_stream(stream, cache)
+            if cache.engine is not None:
+                cache.engine.finalize()
         if cache.engine is not None:
-            cache.engine.finalize()
+            cache.engine.publish_metrics(self.metrics)
 
         result = _assemble_result(
             l1, l2, associativity, cache.stats,
@@ -360,6 +439,12 @@ class ExperimentRunner:
             accumulators, distance,
         )
         self._results[cache_key] = result
+        self._record_run(
+            "run", l1, l2, associativity, tag_bits, transforms,
+            mru_list_lengths, extra_tag_bits, writeback_optimization,
+        )
+        if self.obs_dir is not None:
+            self.write_obs()
         return result
 
     def run_segmented(
@@ -394,7 +479,8 @@ class ExperimentRunner:
         if isinstance(l2, str):
             l2 = parse_geometry(l2)
         stream = self.miss_stream(l1)
-        segments = split_stream_at_flushes(stream)
+        with self.tracer.span("split_stream", l1=l1.label):
+            segments = split_stream_at_flushes(stream)
         plan_args = (
             tag_bits, tuple(transforms), tuple(mru_list_lengths),
             tuple(extra_tag_bits),
@@ -407,11 +493,21 @@ class ExperimentRunner:
         if processes is None:
             processes = os.cpu_count() or 1
         processes = max(1, min(processes, len(payloads) or 1))
-        if processes == 1:
-            shards = [_replay_segment(payload) for payload in payloads]
-        else:
-            with _pool_context().Pool(processes) as pool:
-                shards = pool.map(_replay_segment, payloads)
+        self.metrics.counter("runner.segmented_runs").inc()
+        log.debug(
+            "runner.segmented", l1=l1.label, l2=l2.label,
+            segments=len(payloads), processes=processes,
+        )
+        with self.tracer.span(
+            "replay_shards",
+            l1=l1.label, l2=l2.label, associativity=associativity,
+            shards=len(payloads), processes=processes,
+        ):
+            if processes == 1:
+                shards = [_replay_segment(payload) for payload in payloads]
+            else:
+                with _pool_context().Pool(processes) as pool:
+                    shards = pool.map(_replay_segment, payloads)
 
         stats = CacheStats()
         accumulators: Dict[str, ProbeAccumulator] = {}
@@ -420,7 +516,8 @@ class ExperimentRunner:
             if self.use_engine
             else MruDistanceObserver(associativity)
         )
-        for shard_stats, shard_accs, shard_distance in shards:
+        shard_seconds = self.metrics.histogram("runner.shard_seconds")
+        for shard_stats, shard_accs, shard_distance, shard_obs in shards:
             stats.merge(shard_stats)
             for label, acc in shard_accs.items():
                 merged = accumulators.get(label)
@@ -429,11 +526,66 @@ class ExperimentRunner:
                 else:
                     merged.merge(acc)
             _merge_distance(distance, shard_distance)
+            self.metrics.merge_snapshot(shard_obs["metrics"])
+            shard_seconds.observe(shard_obs["seconds"])
 
-        return _assemble_result(
+        result = _assemble_result(
             l1, l2, associativity, stats, stream.processor_references,
             self.l1_miss_ratio(l1), accumulators, distance,
         )
+        self._record_run(
+            "run_segmented", l1, l2, associativity, tag_bits, transforms,
+            mru_list_lengths, extra_tag_bits, writeback_optimization,
+        )
+        if self.obs_dir is not None:
+            self.write_obs()
+        return result
+
+    def _record_run(
+        self, method, l1, l2, associativity, tag_bits, transforms,
+        mru_list_lengths, extra_tag_bits, writeback_optimization,
+    ) -> None:
+        """Append one run's configuration to the manifest run log."""
+        self._run_log.append({
+            "method": method,
+            "l1": l1.label,
+            "l2": l2.label,
+            "associativity": associativity,
+            "tag_bits": tag_bits,
+            "transforms": list(transforms),
+            "mru_list_lengths": list(mru_list_lengths),
+            "extra_tag_bits": list(extra_tag_bits),
+            "writeback_optimization": writeback_optimization,
+        })
+
+    def write_obs(self, obs_dir=None) -> Optional[RunManifest]:
+        """Write the provenance manifest and span trace for this runner.
+
+        Emits ``manifest.json`` — config hash over every run so far,
+        workload identity, code identity, per-phase timings, and the
+        current metric snapshot — plus the tracer's ``trace.jsonl``
+        into ``obs_dir`` (defaulting to the runner's ``obs_dir``).
+        Called automatically after each run when the runner was
+        constructed with ``obs_dir=``; both files are rewritten whole,
+        so they always describe the complete session.
+
+        Returns:
+            The written :class:`~repro.obs.manifest.RunManifest`, or
+            ``None`` when no directory is configured.
+        """
+        obs_dir = Path(obs_dir) if obs_dir is not None else self.obs_dir
+        if obs_dir is None:
+            return None
+        manifest = RunManifest.build(
+            tool="ExperimentRunner",
+            config={"use_engine": self.use_engine, "runs": self._run_log},
+            workload=self.workload,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        manifest.write(obs_dir / "manifest.json")
+        self.tracer.write_jsonl(obs_dir / "trace.jsonl")
+        return manifest
 
 
 def _merge_distance(target, other) -> None:
@@ -470,11 +622,28 @@ class ParallelSweepRunner:
     L1 miss stream at most once (and, on fork platforms, inherits
     streams already memoized in the parent).
 
+    Failures inside workers surface as
+    :class:`~repro.errors.SweepPointError` naming the failing sweep
+    point (not a bare pool traceback), and are recorded in the run
+    manifest when one is being emitted. Live per-shard progress (with
+    ETA) can be watched on stderr via ``REPRO_PROGRESS=1``.
+
     Args:
         workload: Shared workload; defaults to
             :func:`~repro.experiments.configs.default_workload`.
         processes: Worker count; defaults to the CPU count.
         use_engine: Forwarded to the per-worker runners.
+        metrics: Target :class:`~repro.obs.metrics.MetricsRegistry` the
+            merged worker snapshots land in; defaults to the
+            process-global registry.
+        tracer: Target :class:`~repro.obs.spans.Tracer` for the sweep
+            span; defaults to the process-global tracer.
+        obs_dir: When set, each :meth:`run_points` call writes a
+            provenance ``manifest.json`` and span ``trace.jsonl``
+            there — see :meth:`write_obs`.
+        progress: Force per-shard progress reporting on/off; defaults
+            to the ``REPRO_PROGRESS``/TTY heuristic of
+            :func:`~repro.obs.progress.progress_enabled`.
     """
 
     def __init__(
@@ -482,33 +651,136 @@ class ParallelSweepRunner:
         workload: Optional[AtumWorkload] = None,
         processes: Optional[int] = None,
         use_engine: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        obs_dir=None,
+        progress: Optional[bool] = None,
     ) -> None:
         self.workload = workload if workload is not None else default_workload()
         self.processes = processes
         self.use_engine = use_engine
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
+        self.progress = progress
+        self.failures: List[Dict[str, Any]] = []
+        self._points_log: List[Dict[str, Any]] = []
 
     def run_points(self, points: Sequence[SweepPoint]) -> List[ConfigResult]:
-        """Run every point, in parallel, preserving input order."""
+        """Run every point, in parallel, preserving input order.
+
+        Raises:
+            SweepPointError: When any point fails in a worker; the
+                failure is recorded (and, with ``obs_dir`` set, the
+                manifest written) before re-raising.
+        """
         if not points:
             return []
         by_l1: Dict[str, List[Tuple[int, SweepPoint]]] = {}
         for index, point in enumerate(points):
             by_l1.setdefault(point.l1, []).append((index, point))
         shards = [
-            (self.workload, self.use_engine, group)
-            for group in by_l1.values()
+            (shard_index, self.workload, self.use_engine, group)
+            for shard_index, group in enumerate(by_l1.values())
         ]
         processes = self.processes
         if processes is None:
             processes = os.cpu_count() or 1
         processes = max(1, min(processes, len(shards)))
-        if processes == 1:
-            outputs = [_run_sweep_shard(shard) for shard in shards]
-        else:
-            with _pool_context().Pool(processes) as pool:
-                outputs = pool.map(_run_sweep_shard, shards)
+        self._points_log.extend(asdict(point) for point in points)
+        reporter = ProgressReporter(
+            total=len(shards), label="sweep", enabled=self.progress
+        )
+        log.debug(
+            "sweep.start", points=len(points), shards=len(shards),
+            processes=processes,
+        )
+        try:
+            with self.tracer.span(
+                "sweep",
+                points=len(points), shards=len(shards), processes=processes,
+            ):
+                if processes == 1:
+                    outputs = []
+                    for shard in shards:
+                        shard_index, _, _, group = shard
+                        detail = f"l1={group[0][1].l1}, {len(group)} points"
+                        reporter.started(shard_index, detail)
+                        outputs.append(_run_sweep_shard(shard))
+                        reporter.finished(shard_index, detail)
+                else:
+                    outputs = self._run_pool(shards, processes, reporter)
+        except SweepPointError as exc:
+            self.failures.append({"error": str(exc)})
+            log.error(str(exc))
+            if self.obs_dir is not None:
+                self.write_obs()
+            raise
         results: List[Optional[ConfigResult]] = [None] * len(points)
-        for output in outputs:
-            for index, result in output:
+        for shard_results, shard_snapshot in outputs:
+            self.metrics.merge_snapshot(shard_snapshot)
+            for index, result in shard_results:
                 results[index] = result
+        log.debug("sweep.done", points=len(points))
+        if self.obs_dir is not None:
+            self.write_obs()
         return results
+
+    def _run_pool(self, shards, processes: int, reporter: ProgressReporter):
+        """Map the shards over a worker pool with live progress.
+
+        When progress is enabled on a fork platform, a
+        ``SimpleQueue`` is installed in the module-global
+        :data:`_PROGRESS_QUEUE` immediately before the pool forks (so
+        workers inherit it) and drained by a daemon thread into
+        ``reporter``; the sentinel is enqueued and the drainer joined
+        even when a worker raises.
+        """
+        global _PROGRESS_QUEUE
+        context = _pool_context()
+        queue = None
+        drainer = None
+        if reporter.enabled and context.get_start_method() == "fork":
+            queue = context.SimpleQueue()
+            drainer = reporter.drain(queue)
+        _PROGRESS_QUEUE = queue
+        try:
+            with context.Pool(processes) as pool:
+                return pool.map(_run_sweep_shard, shards)
+        finally:
+            _PROGRESS_QUEUE = None
+            if queue is not None:
+                queue.put(None)
+                drainer.join(timeout=5)
+
+    def write_obs(self, obs_dir=None) -> Optional[RunManifest]:
+        """Write the sweep's provenance manifest and span trace.
+
+        The manifest's config covers every point passed to
+        :meth:`run_points` so far (hashed into ``config_hash``), the
+        workload identity, merged metrics, per-phase timings, and any
+        recorded failures. Called automatically when the runner was
+        constructed with ``obs_dir=``.
+
+        Returns:
+            The written :class:`~repro.obs.manifest.RunManifest`, or
+            ``None`` when no directory is configured.
+        """
+        obs_dir = Path(obs_dir) if obs_dir is not None else self.obs_dir
+        if obs_dir is None:
+            return None
+        manifest = RunManifest.build(
+            tool="ParallelSweepRunner",
+            config={
+                "points": self._points_log,
+                "processes": self.processes,
+                "use_engine": self.use_engine,
+            },
+            workload=self.workload,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            failures=self.failures,
+        )
+        manifest.write(obs_dir / "manifest.json")
+        self.tracer.write_jsonl(obs_dir / "trace.jsonl")
+        return manifest

@@ -5,6 +5,11 @@ Usage::
     repro-sim --l1 16K-16 --l2 256K-32 --assoc 4
     repro-sim --l1 4K-16 --l2 256K-64 --assoc 8 --transforms none,xor \
               --mru-lists 1,2 --tag-bits 16 --extra-tag-bits 32 --scale 0.02
+
+With ``--obs-dir DIR`` the run's provenance manifest (config hash,
+workload seed, per-phase timings, metric snapshot) and JSONL span
+trace are written into ``DIR`` — the instrumented smoke path CI
+validates.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import List, Optional
 from repro.experiments.configs import default_workload
 from repro.experiments.report import render_table
 from repro.experiments.runner import ExperimentRunner
+from repro.obs.log import log
 
 
 def _int_list(raw: str) -> List[int]:
@@ -51,9 +57,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--scale", type=float, default=None)
     parser.add_argument("--seed", type=int, default=1989)
+    parser.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help="write the provenance manifest and JSONL span trace here",
+    )
     args = parser.parse_args(argv)
 
-    runner = ExperimentRunner(default_workload(scale=args.scale, seed=args.seed))
+    runner = ExperimentRunner(
+        default_workload(scale=args.scale, seed=args.seed),
+        obs_dir=args.obs_dir,
+    )
     result = runner.run(
         args.l1,
         args.l2,
@@ -65,11 +78,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         writeback_optimization=not args.no_wb_opt,
     )
 
-    print(
+    log.info(
         f"{args.l1} L1 (miss {result.l1_miss_ratio:.4f}) over "
         f"{args.l2} {args.assoc}-way L2"
     )
-    print(
+    log.info(
         f"global miss {result.global_miss_ratio:.4f}  "
         f"local miss {result.local_miss_ratio:.4f}  "
         f"write-backs {result.fraction_writebacks:.4f}  "
@@ -79,7 +92,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         (data.label, data.hits, data.misses, data.total, data.readin_hits)
         for data in result.schemes.values()
     ]
-    print(
+    log.info(
         render_table(
             ["scheme", "hits*", "misses", "total", "read-in hits"],
             rows,
@@ -89,8 +102,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     f = result.mru_distribution
     shown = ", ".join(f"f{i + 1}={p:.3f}" for i, p in enumerate(f[:8]))
-    print(f"MRU hit distances: {shown}")
-    print(f"best low-cost scheme in total probes: {result.best_total()}")
+    log.info(f"MRU hit distances: {shown}")
+    log.info(f"best low-cost scheme in total probes: {result.best_total()}")
+    if args.obs_dir is not None:
+        log.debug("simcli.obs", obs_dir=args.obs_dir)
     return 0
 
 

@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.configs import parse_geometry
 from repro.experiments.figures import FigureSeries
 from repro.experiments.runner import ExperimentRunner
+from repro.obs.log import log
 
 #: Metrics selectable from a :class:`SchemeResult`.
 METRICS = ("total", "hits", "misses", "readin_hits")
@@ -54,6 +55,7 @@ def associativity_sweep(
         y_label=f"probes ({metric})",
     )
     for a in associativities:
+        log.debug("sweep.associativity", l1=l1, l2=l2, associativity=a)
         result = runner.run(l1, l2, a, **run_kwargs)
         for scheme in schemes:
             figure.series.setdefault(scheme, {})[a] = _metric(
@@ -84,6 +86,9 @@ def capacity_sweep(
     for label in l2_labels:
         geometry = parse_geometry(label)
         x = geometry.capacity_bytes // 1024
+        log.debug(
+            "sweep.capacity", l1=l1, l2=label, associativity=associativity
+        )
         result = runner.run(l1, label, associativity, **run_kwargs)
         figure.series.setdefault("local miss", {})[x] = (
             result.local_miss_ratio
@@ -112,6 +117,10 @@ def miss_ratio_curve(
     if not associativities:
         raise ConfigurationError("need at least one associativity")
     depth = max_depth if max_depth is not None else max(associativities)
+    log.debug(
+        "sweep.miss_ratio_curve", l1=l1, block_size=block_size,
+        num_sets=num_sets, max_depth=depth,
+    )
     stream = runner.miss_stream(parse_geometry(l1))
     stack = StackSimulator(block_size, num_sets, max_depth=depth).run(stream)
     return stack.miss_ratio_curve(associativities)

@@ -1,0 +1,100 @@
+"""Append-only JSONL sink shared by the tracer and manifest writers.
+
+One record per line, UTF-8, ``\\n``-terminated — the least-common-
+denominator format every log shipper and ``jq`` pipeline understands.
+Writing is buffered per :class:`JsonlWriter` instance and flushed on
+:meth:`~JsonlWriter.close` (or context-manager exit); reading streams
+records lazily so multi-gigabyte traces never need to fit in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Union
+
+PathLike = Union[str, "Path"]
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    """One deterministic JSON line for ``record`` (sorted keys)."""
+    return json.dumps(record, sort_keys=True, default=str)
+
+
+class JsonlWriter:
+    """Appends dict records to a JSONL file, one JSON object per line.
+
+    Usable as a context manager::
+
+        with JsonlWriter(path) as sink:
+            sink.write({"event": "started"})
+
+    Args:
+        path: Destination file. Parent directories are created.
+        append: Open in append mode (default) so several writers can
+            extend one trace; pass ``False`` to truncate first.
+    """
+
+    def __init__(self, path: PathLike, append: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a JSON line."""
+        self._handle.write(_canonical(record))
+        self._handle.write("\n")
+
+    def write_many(self, records) -> None:
+        """Append every record of an iterable."""
+        for record in records:
+            self.write(record)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        """Enter: the writer itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Exit: close the file."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlWriter(path={str(self.path)!r})"
+
+
+def write_jsonl(path: PathLike, records, append: bool = False) -> int:
+    """Write an iterable of dicts to ``path``; returns the record count.
+
+    Truncates by default (a complete artifact, not a log); pass
+    ``append=True`` for incremental extension.
+    """
+    count = 0
+    with JsonlWriter(path, append=append) as sink:
+        for record in records:
+            sink.write(record)
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> Iterator[Dict[str, Any]]:
+    """Yield each record of a JSONL file lazily.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the 1-based line number, so a truncated trace fails loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSONL record: {exc}"
+                ) from exc

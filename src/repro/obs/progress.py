@@ -1,0 +1,160 @@
+"""Live progress for parallel sweeps: shard events with ETA on stderr.
+
+:class:`ProgressReporter` turns per-shard *started*/*finished* events
+into human lines on stderr::
+
+    [sweep] shard 2/8 started   (l1=4K-16, 6 points)
+    [sweep] shard 2/8 finished  3/8 done, elapsed 4.1s, ETA 6.9s
+
+Workers report through a ``multiprocessing`` queue they inherit on
+fork (see :class:`~repro.experiments.runner.ParallelSweepRunner`); a
+daemon thread in the parent drains it into a reporter. The reporter
+itself is transport-agnostic — call :meth:`~ProgressReporter.started`
+and :meth:`~ProgressReporter.finished` from anywhere.
+
+Progress is **off by default** (tests and pipelines stay quiet):
+enabled when the ``REPRO_PROGRESS`` environment variable is truthy or
+the target stream is a TTY, overridable per reporter.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO
+
+#: Environment variable forcing progress on ("1") or off ("0").
+ENV_VAR = "REPRO_PROGRESS"
+
+
+def progress_enabled(stream: Optional[TextIO] = None) -> bool:
+    """Default enablement: ``REPRO_PROGRESS`` wins, else TTY detection."""
+    raw = os.environ.get(ENV_VAR)
+    if raw is not None:
+        return raw.strip().lower() not in ("", "0", "false", "no")
+    stream = stream if stream is not None else sys.stderr
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty()) if callable(isatty) else False
+    except (OSError, ValueError):  # pragma: no cover - closed stream
+        return False
+
+
+class ProgressReporter:
+    """Formats shard lifecycle events, with a completion-rate ETA.
+
+    Thread-safe: the queue-draining thread and the parent may both
+    report. All output goes to one stream (stderr by default), never
+    stdout, so machine-readable CLI output stays clean.
+
+    Args:
+        total: Number of shards expected.
+        label: Tag prefixed to every line (default ``"sweep"``).
+        stream: Target stream; default ``sys.stderr``.
+        enabled: Force on/off; default per :func:`progress_enabled`.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self._stream = stream
+        self.enabled = (
+            progress_enabled(stream) if enabled is None else enabled
+        )
+        self.finished_count = 0
+        self.started_count = 0
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _write(self, line: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        stream.write(line + "\n")
+        flush = getattr(stream, "flush", None)
+        if callable(flush):
+            flush()
+
+    def started(self, shard: int, detail: str = "") -> None:
+        """Report shard ``shard`` (0-based) as started."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.started_count += 1
+            suffix = f"   ({detail})" if detail else ""
+            self._write(
+                f"[{self.label}] shard {shard + 1}/{self.total} "
+                f"started{suffix}"
+            )
+
+    def finished(self, shard: int, detail: str = "") -> None:
+        """Report shard ``shard`` as finished, with progress and ETA.
+
+        The ETA extrapolates from the mean completion rate so far —
+        exact for uniform shards, a fair estimate otherwise.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self.finished_count += 1
+            done = self.finished_count
+            elapsed = time.monotonic() - self._t0
+            if done < self.total and done > 0:
+                eta = elapsed * (self.total - done) / done
+                tail = f", ETA {eta:.1f}s"
+            else:
+                tail = ", done"
+            suffix = f"   ({detail})" if detail else ""
+            self._write(
+                f"[{self.label}] shard {shard + 1}/{self.total} finished"
+                f"{suffix}  {done}/{self.total} complete, "
+                f"elapsed {elapsed:.1f}s{tail}"
+            )
+
+    def handle(self, event: Any) -> None:
+        """Dispatch one queue event: ``(kind, shard, detail)`` tuples.
+
+        Unknown kinds are ignored (forward compatibility with newer
+        workers reporting through an older parent).
+        """
+        try:
+            kind, shard, detail = event
+        except (TypeError, ValueError):
+            return
+        if kind == "started":
+            self.started(shard, detail)
+        elif kind == "finished":
+            self.finished(shard, detail)
+
+    def drain(self, queue: Any) -> threading.Thread:
+        """Start a daemon thread draining ``queue`` into :meth:`handle`.
+
+        The thread exits when it reads ``None`` (the sentinel the
+        owner must enqueue after the workers are done). Returns the
+        thread so the owner can ``join`` it.
+        """
+
+        def _loop() -> None:
+            while True:
+                event = queue.get()
+                if event is None:
+                    return
+                self.handle(event)
+
+        thread = threading.Thread(
+            target=_loop, name="repro-progress", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgressReporter(total={self.total}, "
+            f"finished={self.finished_count}, enabled={self.enabled})"
+        )

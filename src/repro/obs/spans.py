@@ -1,0 +1,249 @@
+"""Tracing spans: nestable wall+CPU timers with a JSONL trace format.
+
+A *span* measures one named phase of work — an L1 capture, an L2
+replay, a table build. Spans nest (a stack per :class:`Tracer`), are
+based on the monotonic clocks (``time.perf_counter`` for wall time,
+``time.process_time`` for CPU time — both immune to system clock
+steps), and record their attributes, depth, and full path through the
+enclosing spans. Durations are *inclusive* of child spans.
+
+Usage::
+
+    from repro.obs import span, get_tracer
+
+    with span("l2_replay", l2="256K-32", associativity=4):
+        with span("finalize"):
+            ...
+
+    get_tracer().write_jsonl("trace.jsonl")   # one record per span
+    print(get_tracer().flame())               # ASCII flame summary
+
+Instrumentation discipline: spans wrap *phases*, never per-access
+work. Nothing in this module is invoked from the simulator hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.jsonl import write_jsonl
+
+
+class SpanRecord:
+    """One completed span: identity, position, and measured durations.
+
+    Attributes:
+        name: The phase name passed to :meth:`Tracer.span`.
+        path: ``"/"``-joined names of the enclosing spans plus this one
+            (e.g. ``"sweep/l2_replay"``) — the flame-graph key.
+        depth: Nesting depth (0 for top-level spans).
+        start: Wall-clock offset in seconds since the tracer was
+            created (monotonic; comparable across records of one trace).
+        wall_seconds: Elapsed wall time, inclusive of children.
+        cpu_seconds: Elapsed process CPU time, inclusive of children.
+        attrs: The keyword attributes the span was opened with.
+        index: Completion order within the tracer (0-based).
+    """
+
+    __slots__ = (
+        "name", "path", "depth", "start",
+        "wall_seconds", "cpu_seconds", "attrs", "index",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        path: str,
+        depth: int,
+        start: float,
+        wall_seconds: float,
+        cpu_seconds: float,
+        attrs: Dict[str, Any],
+        index: int,
+    ) -> None:
+        self.name = name
+        self.path = path
+        self.depth = depth
+        self.start = start
+        self.wall_seconds = wall_seconds
+        self.cpu_seconds = cpu_seconds
+        self.attrs = attrs
+        self.index = index
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, as written to the JSONL trace."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start": self.start,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attrs": self.attrs,
+            "index": self.index,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord(path={self.path!r}, "
+            f"wall_seconds={self.wall_seconds:.6f})"
+        )
+
+
+class _ActiveSpan:
+    """Context manager for one in-flight span (created by ``Tracer.span``)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_wall0", "_cpu0", "_path", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_ActiveSpan":
+        """Start the clocks and push onto the tracer's span stack."""
+        stack = self._tracer._stack
+        self._depth = len(stack)
+        parent = stack[-1]._path if stack else ""
+        self._path = f"{parent}/{self.name}" if parent else self.name
+        stack.append(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Stop the clocks, pop the stack, and record the span."""
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        tracer = self._tracer
+        tracer._stack.pop()
+        tracer.records.append(
+            SpanRecord(
+                name=self.name,
+                path=self._path,
+                depth=self._depth,
+                start=self._wall0 - tracer._epoch,
+                wall_seconds=wall,
+                cpu_seconds=cpu,
+                attrs=self.attrs,
+                index=len(tracer.records),
+            )
+        )
+
+
+class Tracer:
+    """Collects completed :class:`SpanRecord`\\ s for one process.
+
+    A tracer is cheap (a list and a stack) and not thread-safe; use one
+    per thread, or — the common case — the process-global tracer from
+    :func:`get_tracer`. Records accumulate until :meth:`clear`.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self._stack: List[_ActiveSpan] = []
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span named ``name`` as a context manager.
+
+        Keyword arguments become the span's attributes, recorded
+        verbatim in the trace (keep them JSON-representable).
+        """
+        return _ActiveSpan(self, name, attrs)
+
+    def phase_timings(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate completed spans by name.
+
+        Returns:
+            ``{name: {"count": n, "wall_seconds": w, "cpu_seconds": c}}``
+            with durations summed per name — the per-phase timing block
+            embedded in run manifests.
+        """
+        phases: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            entry = phases.setdefault(
+                record.name,
+                {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0},
+            )
+            entry["count"] += 1
+            entry["wall_seconds"] += record.wall_seconds
+            entry["cpu_seconds"] += record.cpu_seconds
+        return phases
+
+    def write_jsonl(self, path) -> int:
+        """Write every record to ``path`` as JSONL; returns the count.
+
+        The file is rewritten whole (it is an artifact of this tracer's
+        current state, not an append log), so emitting after each run
+        of a long session always yields a complete, valid trace.
+        """
+        return write_jsonl(
+            Path(path), (record.to_dict() for record in self.records)
+        )
+
+    def flame(self, width: int = 40) -> str:
+        """ASCII flame summary: wall time per span *path*, as bars.
+
+        Paths aggregate all spans sharing the same position in the
+        hierarchy; bars scale to the largest total. Example::
+
+            sweep                 ######################## 1.204s x1
+            sweep/l2_replay       ##########               0.512s x4
+        """
+        totals: Dict[str, List[float]] = {}
+        order: List[str] = []
+        for record in sorted(self.records, key=lambda r: (r.start, r.index)):
+            if record.path not in totals:
+                totals[record.path] = [0.0, 0]
+                order.append(record.path)
+            totals[record.path][0] += record.wall_seconds
+            totals[record.path][1] += 1
+        if not totals:
+            return "(no spans recorded)"
+        longest = max(len(path) for path in order)
+        peak = max(wall for wall, _ in totals.values()) or 1.0
+        lines = []
+        for path in order:
+            wall, count = totals[path]
+            bar = "#" * max(1, int(round(width * wall / peak)))
+            lines.append(
+                f"{path:<{longest}}  {bar:<{width}} {wall:8.3f}s x{count}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Drop every completed record (open spans are unaffected)."""
+        self.records.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(records={len(self.records)}, open={len(self._stack)})"
+        )
+
+
+#: The process-global tracer used by :func:`span` and the runners.
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global :class:`Tracer` (one per worker process)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-global tracer; returns the previous one.
+
+    Intended for tests and embedders that need an isolated trace.
+    """
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def span(name: str, **attrs: Any) -> _ActiveSpan:
+    """Open a span on the process-global tracer (see :meth:`Tracer.span`)."""
+    return _GLOBAL_TRACER.span(name, **attrs)

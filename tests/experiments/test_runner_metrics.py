@@ -1,0 +1,138 @@
+"""Observability through the runners: exact metric merges, failure
+wrapping, and provenance emission.
+
+The headline invariant (mirroring the probe-counter discipline of
+``test_parallel_runner.py``): the ``engine.*`` counters merged from
+:meth:`~repro.experiments.runner.ExperimentRunner.run_segmented`
+workers must equal the serial run's counters bit-identically for a
+fixed workload seed.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SweepPointError
+from repro.experiments.runner import (
+    ExperimentRunner,
+    ParallelSweepRunner,
+    SweepPoint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.obs.validate import validate_manifest_file, validate_trace_file
+from repro.trace.synthetic import AtumWorkload
+
+
+def small_workload():
+    return AtumWorkload(segments=3, references_per_segment=4_000, seed=19)
+
+
+def engine_counters(registry):
+    """The deterministic ``engine.*`` counter slice of a snapshot."""
+    return {
+        name: value
+        for name, value in registry.snapshot()["counters"].items()
+        if name.startswith("engine.")
+    }
+
+
+class TestBitIdenticalMetrics:
+    @pytest.mark.parametrize("processes", [1, 2])
+    def test_segmented_engine_counters_match_serial(self, processes):
+        workload = small_workload()
+        serial_metrics = MetricsRegistry()
+        ExperimentRunner(
+            workload, metrics=serial_metrics, tracer=Tracer()
+        ).run("4K-16", "64K-32", 4)
+        segmented_metrics = MetricsRegistry()
+        ExperimentRunner(
+            workload, metrics=segmented_metrics, tracer=Tracer()
+        ).run_segmented("4K-16", "64K-32", 4, processes=processes)
+        serial = engine_counters(serial_metrics)
+        assert serial["engine.accesses"] > 0
+        assert engine_counters(segmented_metrics) == serial
+
+    def test_parallel_sweep_engine_counters_match_serial(self):
+        workload = small_workload()
+        points = [
+            SweepPoint("4K-16", "64K-32", 2),
+            SweepPoint("4K-16", "64K-32", 4),
+            SweepPoint("8K-16", "64K-32", 4),
+        ]
+        serial_metrics = MetricsRegistry()
+        serial_runner = ExperimentRunner(
+            workload, metrics=serial_metrics, tracer=Tracer()
+        )
+        for point in points:
+            serial_runner.run(point.l1, point.l2, point.associativity)
+        sweep_metrics = MetricsRegistry()
+        ParallelSweepRunner(
+            workload, processes=2,
+            metrics=sweep_metrics, tracer=Tracer(),
+        ).run_points(points)
+        assert engine_counters(sweep_metrics) == engine_counters(
+            serial_metrics
+        )
+
+    def test_runner_counters_track_replays_and_cache_hits(self):
+        metrics = MetricsRegistry()
+        runner = ExperimentRunner(
+            small_workload(), metrics=metrics, tracer=Tracer()
+        )
+        runner.run("4K-16", "64K-32", 4)
+        runner.run("4K-16", "64K-32", 4)
+        counters = metrics.snapshot()["counters"]
+        assert counters["runner.replays"] == 1
+        assert counters["runner.result_cache_hits"] == 1
+
+
+class TestFailureWrapping:
+    @pytest.mark.parametrize("processes", [1, 2])
+    def test_worker_failure_names_the_point(self, processes, tmp_path):
+        good = SweepPoint("4K-16", "64K-32", 4)
+        bad = SweepPoint("4K-16", "not-a-geometry", 4)
+        runner = ParallelSweepRunner(
+            small_workload(), processes=processes,
+            metrics=MetricsRegistry(), tracer=Tracer(),
+            obs_dir=tmp_path, progress=False,
+        )
+        with pytest.raises(SweepPointError) as excinfo:
+            runner.run_points([good, bad])
+        message = str(excinfo.value)
+        assert "not-a-geometry" in message
+        assert runner.failures == [{"error": message}]
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["failures"] == [{"error": message}]
+
+
+class TestProvenanceEmission:
+    def test_experiment_runner_obs_dir(self, tmp_path):
+        runner = ExperimentRunner(
+            small_workload(), metrics=MetricsRegistry(), tracer=Tracer(),
+            obs_dir=tmp_path,
+        )
+        runner.run("4K-16", "64K-32", 4)
+        assert validate_manifest_file(tmp_path / "manifest.json") == []
+        assert validate_trace_file(tmp_path / "trace.jsonl") == []
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["tool"] == "ExperimentRunner"
+        assert manifest["config"]["runs"][0]["l2"] == "64K-32"
+        assert manifest["workload"]["seed"] == 19
+        assert "l2_replay" in manifest["phases"]
+        assert manifest["metrics"]["counters"]["engine.accesses"] > 0
+
+    def test_sweep_runner_obs_dir(self, tmp_path):
+        runner = ParallelSweepRunner(
+            small_workload(), processes=1,
+            metrics=MetricsRegistry(), tracer=Tracer(),
+            obs_dir=tmp_path, progress=False,
+        )
+        runner.run_points([SweepPoint("4K-16", "64K-32", 4)])
+        assert validate_manifest_file(tmp_path / "manifest.json") == []
+        assert validate_trace_file(tmp_path / "trace.jsonl") == []
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["tool"] == "ParallelSweepRunner"
+        assert manifest["config"]["points"][0]["l1"] == "4K-16"
+        assert manifest["failures"] == []
+        assert "sweep" in manifest["phases"]

@@ -1,0 +1,90 @@
+"""Structured logger: byte-stable default output, env-driven levels."""
+
+import io
+import json
+
+from repro.obs.log import StructuredLogger
+
+
+def make_logger():
+    out, err = io.StringIO(), io.StringIO()
+    return StructuredLogger(out=out, err=err), out, err
+
+
+class TestDefaultLevel:
+    def test_info_is_byte_identical_to_print(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        logger, out, err = make_logger()
+        message = "| scheme | total |\n| mru    | 1.52  |"
+        logger.info(message)
+        assert out.getvalue() == message + "\n"
+        assert err.getvalue() == ""
+
+    def test_debug_hidden_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        logger, out, err = make_logger()
+        logger.debug("sweep.point", l2="64K-32")
+        assert out.getvalue() == ""
+        assert err.getvalue() == ""
+
+    def test_warning_and_error_go_to_stderr(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        logger, out, err = make_logger()
+        logger.warning("slow shard", seconds=9)
+        logger.error("failed")
+        assert out.getvalue() == ""
+        assert "warning slow shard seconds=9" in err.getvalue()
+        assert "error failed" in err.getvalue()
+
+
+class TestEnvControl:
+    def test_debug_level_shows_debug_events(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        logger, out, err = make_logger()
+        logger.debug("sweep.point", l2="64K-32", associativity=4)
+        assert "debug sweep.point l2=64K-32 associativity=4" in err.getvalue()
+
+    def test_silent_suppresses_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "silent")
+        logger, out, err = make_logger()
+        logger.info("hello")
+        logger.error("bad")
+        assert out.getvalue() == ""
+        assert err.getvalue() == ""
+
+    def test_warning_threshold_hides_info(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "warning")
+        logger, out, err = make_logger()
+        logger.info("hello")
+        logger.warning("careful")
+        assert out.getvalue() == ""
+        assert "careful" in err.getvalue()
+
+    def test_unknown_level_falls_back_to_info(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "nonsense")
+        logger, out, err = make_logger()
+        logger.info("hello")
+        assert out.getvalue() == "hello\n"
+
+    def test_level_reread_per_emission(self, monkeypatch):
+        logger, out, err = make_logger()
+        monkeypatch.setenv("REPRO_LOG", "silent")
+        logger.info("hidden")
+        monkeypatch.setenv("REPRO_LOG", "info")
+        logger.info("shown")
+        assert out.getvalue() == "shown\n"
+
+
+class TestJsonMode:
+    def test_json_records_on_both_streams(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug+json")
+        logger, out, err = make_logger()
+        logger.info("built", target="table4")
+        logger.debug("sweep.point", l2="64K-32")
+        info_record = json.loads(out.getvalue())
+        assert info_record == {
+            "level": "info", "message": "built", "target": "table4",
+        }
+        debug_record = json.loads(err.getvalue())
+        assert debug_record["level"] == "debug"
+        assert debug_record["l2"] == "64K-32"

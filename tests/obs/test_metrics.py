@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, snapshots, and exact merging."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 15.0
+        assert histogram.min == 2.0
+        assert histogram.max == 8.0
+        assert histogram.mean == 5.0
+
+    def test_empty_histogram_mean(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_is_plain_and_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.accesses").inc(10)
+        registry.gauge("engine.channels").set(3)
+        registry.histogram("runner.shard_seconds").observe(0.5)
+        snapshot = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        assert snapshot["counters"] == {"engine.accesses": 10}
+        assert snapshot["gauges"] == {"engine.channels": 3}
+        assert snapshot["histograms"]["runner.shard_seconds"]["count"] == 1
+
+    def test_merge_counters_is_exact_addition(self):
+        shards = []
+        for amount in (3, 5, 9):
+            registry = MetricsRegistry()
+            registry.counter("engine.accesses").inc(amount)
+            shards.append(registry.snapshot())
+        merged = MetricsRegistry()
+        for snapshot in shards:
+            merged.merge_snapshot(snapshot)
+        assert merged.counter("engine.accesses").value == 17
+
+    def test_merge_order_independent_for_counters_and_histograms(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("c").inc(5)
+        b.histogram("h").observe(4.0)
+        ab = MetricsRegistry()
+        ab.merge_snapshot(a.snapshot())
+        ab.merge_snapshot(b.snapshot())
+        ba = MetricsRegistry()
+        ba.merge_snapshot(b.snapshot())
+        ba.merge_snapshot(a.snapshot())
+        assert (
+            ab.snapshot()["counters"] == ba.snapshot()["counters"]
+        )
+        assert (
+            ab.snapshot()["histograms"] == ba.snapshot()["histograms"]
+        )
+
+    def test_merge_registry_object(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        a.merge(b)
+        assert a.counter("c").value == 3
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.clear()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestGlobalRegistry:
+    def test_set_metrics_swaps_and_restores(self):
+        isolated = MetricsRegistry()
+        previous = set_metrics(isolated)
+        try:
+            assert get_metrics() is isolated
+        finally:
+            set_metrics(previous)
+        assert get_metrics() is previous

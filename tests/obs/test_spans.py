@@ -1,0 +1,128 @@
+"""Tracing spans: nesting, clocks, JSONL round-trip, flame summary."""
+
+from repro.obs.jsonl import read_jsonl
+from repro.obs.spans import Tracer, get_tracer, set_tracer, span
+from repro.obs.validate import validate_span
+
+
+class TestNesting:
+    def test_records_complete_children_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [record.name for record in tracer.records]
+        assert names == ["inner", "outer"]
+
+    def test_depth_and_path(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["a"].depth == 0 and by_name["a"].path == "a"
+        assert by_name["b"].depth == 1 and by_name["b"].path == "a/b"
+        assert by_name["c"].depth == 2 and by_name["c"].path == "a/b/c"
+
+    def test_siblings_share_parent_path(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+            with tracer.span("child"):
+                pass
+        child_paths = [
+            record.path for record in tracer.records
+            if record.name == "child"
+        ]
+        assert child_paths == ["parent/child", "parent/child"]
+
+
+class TestTiming:
+    def test_wall_time_is_inclusive_and_positive(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(10_000))
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["inner"].wall_seconds > 0
+        assert by_name["outer"].wall_seconds >= by_name["inner"].wall_seconds
+        assert by_name["outer"].cpu_seconds >= 0
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("replay", l2="64K-32", associativity=4):
+            pass
+        assert tracer.records[0].attrs == {"l2": "64K-32", "associativity": 4}
+
+    def test_exception_still_records_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert [record.name for record in tracer.records] == ["failing"]
+        assert not tracer._stack
+
+
+class TestAggregation:
+    def test_phase_timings_sums_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        phases = tracer.phase_timings()
+        assert phases["phase"]["count"] == 3
+        assert phases["phase"]["wall_seconds"] > 0
+
+    def test_flame_lists_every_path(self):
+        tracer = Tracer()
+        with tracer.span("sweep"):
+            with tracer.span("l2_replay"):
+                pass
+        flame = tracer.flame()
+        assert "sweep" in flame
+        assert "sweep/l2_replay" in flame
+        assert "#" in flame
+
+    def test_flame_empty(self):
+        assert "no spans" in Tracer().flame()
+
+
+class TestJsonl:
+    def test_round_trip_is_schema_valid(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a", key="value"):
+            with tracer.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 2
+        records = list(read_jsonl(path))
+        assert len(records) == 2
+        for index, record in enumerate(records):
+            assert validate_span(record) == []
+            assert record["index"] == index
+
+    def test_rewrite_is_complete_not_appended(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        tracer.write_jsonl(path)
+        assert len(list(read_jsonl(path))) == 1
+
+
+class TestGlobalTracer:
+    def test_span_uses_global_tracer(self):
+        isolated = Tracer()
+        previous = set_tracer(isolated)
+        try:
+            with span("global_phase"):
+                pass
+        finally:
+            set_tracer(previous)
+        assert [record.name for record in isolated.records] == ["global_phase"]
+        assert get_tracer() is previous
