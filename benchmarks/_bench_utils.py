@@ -35,6 +35,38 @@ def once(benchmark, fn, *args, **kwargs):
 
     Full trace-driven simulations are too expensive to repeat for
     statistical timing; one round still gives a useful wall-clock
-    number and pytest-benchmark bookkeeping.
+    number and pytest-benchmark bookkeeping. The environment
+    fingerprint is stamped into ``extra_info`` so saved
+    pytest-benchmark JSON stays attributable, same as the trajectory
+    entries in ``BENCH_simulator.json``.
     """
+    from repro.obs.bench import environment_fingerprint
+
+    benchmark.extra_info["environment"] = environment_fingerprint()
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def timed(benchmark, fn, *args, repeats=5, warmup=1, **kwargs):
+    """Statistically time ``fn``: the bench-suite face of ``measure()``.
+
+    For benchmarks cheap enough to repeat, this replaces best-of-N
+    with the harness from :mod:`repro.obs.bench` — warmup rounds, N
+    timed repeats, median/MAD and a bootstrap confidence interval of
+    the median — and records the full statistics (plus the environment
+    fingerprint) in pytest-benchmark's ``extra_info``, so saved
+    benchmark JSON carries the same noise-aware stats the regression
+    gate consumes. One extra pedantic round keeps pytest-benchmark's
+    own reporting populated.
+
+    Returns the :class:`repro.obs.bench.TimingResult`, whose
+    ``last_result`` is ``fn``'s final return value.
+    """
+    from repro.obs.bench import environment_fingerprint, measure
+
+    stats = measure(
+        lambda: fn(*args, **kwargs), repeats=repeats, warmup=warmup
+    )
+    benchmark.extra_info["timing"] = stats.to_dict()
+    benchmark.extra_info["environment"] = environment_fingerprint()
+    benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return stats

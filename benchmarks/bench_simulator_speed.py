@@ -8,10 +8,15 @@ The instrumented L2 benchmark accounts naive, MRU, and partial-compare
 probes through the fused engine (the default instrumentation path; see
 ``docs/performance.md``); ``test_l2_replay_throughput_legacy_observers``
 keeps the per-observer reference path on the same stream for
-comparison.
+comparison. The two replay benchmarks go through ``timed()`` — the
+statistical harness of ``repro.obs.bench`` — so their saved
+``extra_info`` carries the same median/MAD/CI statistics as the
+``BENCH_simulator.json`` trajectory entries.
 """
 
 import pytest
+
+from _bench_utils import timed
 
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.cache.hierarchy import cached_miss_stream, replay_miss_stream
@@ -68,8 +73,8 @@ def test_l2_replay_throughput_bare(benchmark, stream):
         replay_miss_stream(stream, l2)
         return l2.stats.accesses
 
-    accesses = benchmark(run)
-    assert accesses == len(stream)
+    stats = timed(benchmark, run, repeats=3)
+    assert stats.last_result == len(stream)
 
 
 def test_l2_replay_throughput_instrumented(benchmark, stream):
@@ -84,8 +89,8 @@ def test_l2_replay_throughput_instrumented(benchmark, stream):
         engine.finalize()
         return l2.stats.accesses
 
-    accesses = benchmark(run)
-    assert accesses == len(stream)
+    stats = timed(benchmark, run, repeats=3)
+    assert stats.last_result == len(stream)
 
 
 def test_l2_replay_throughput_legacy_observers(benchmark, stream):
@@ -101,5 +106,5 @@ def test_l2_replay_throughput_legacy_observers(benchmark, stream):
         replay_miss_stream(stream, l2)
         return l2.stats.accesses
 
-    accesses = benchmark(run)
-    assert accesses == len(stream)
+    stats = timed(benchmark, run, repeats=3)
+    assert stats.last_result == len(stream)

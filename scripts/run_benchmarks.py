@@ -1,32 +1,34 @@
 #!/usr/bin/env python
-"""Machine-readable simulator throughput benchmark.
+"""Machine-readable simulator throughput benchmark with a trajectory.
 
 Times the L2 replay benchmark workload (the same stream
 ``benchmarks/bench_simulator_speed.py`` uses) through the three
 instrumentation configurations — bare, fused engine, and legacy
-observers — and writes the results as JSON, so CI and before/after
-comparisons don't have to parse pytest-benchmark output.
+observers — with the statistical harness from :mod:`repro.obs.bench`
+(warmup, N repeats, median/MAD, bootstrap confidence intervals)
+instead of best-of-N wall clock.
 
 Usage::
 
     PYTHONPATH=src python scripts/run_benchmarks.py [-o BENCH_simulator.json]
 
-The JSON schema is ``{"workload": {...}, "results": {name: {...}}}``
-with per-configuration best wall-clock seconds, requests/second, and
-the derived speedup of the fused engine over the legacy observer path.
-Every results entry is stamped with the run's provenance: the
-manifest's ``config_hash`` and the configuration's per-phase timings,
-and the full manifest + JSONL span trace are written next to the
-output (``<output>.manifest.json`` / ``<output>.trace.jsonl``), so a
-benchmark trajectory of many JSON files stays self-describing.
+The output file is an **append-only history**: each run adds one
+self-describing entry (config + ``config_hash``, git SHA, environment
+fingerprint, per-configuration timing statistics, deterministic
+per-scheme probe-count totals, and the fused-over-legacy speedup) to
+``{"schema_version", "benchmark", "entries": [...]}``. Re-running an
+identical config at an identical commit replaces its stale entry
+instead of padding the trajectory; a legacy single-run file is
+migrated into the first entry rather than clobbered. Gate the newest
+entry with ``repro-bench-compare``; the full manifest + JSONL span
+trace land next to the output (``<output>.manifest.json`` /
+``<output>.trace.jsonl``) for ``repro-trace-report``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import platform
-import time
 from pathlib import Path
 
 from repro.cache.hierarchy import cached_miss_stream, replay_miss_stream
@@ -36,9 +38,11 @@ from repro.core.engine import FusedProbeEngine
 from repro.core.mru import MRULookup
 from repro.core.naive import NaiveLookup
 from repro.core.partial import PartialCompareLookup
+from repro.obs.bench import BenchHistory, build_entry, measure
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Tracer
+
 from repro.trace.synthetic import AtumWorkload
 
 L1_CAPACITY = 4096
@@ -49,20 +53,25 @@ ASSOCIATIVITY = 4
 
 
 def bare_cache():
+    """A plain, uninstrumented L2."""
     return SetAssociativeCache(L2_CAPACITY, L2_BLOCK, ASSOCIATIVITY)
 
 
 def fused_cache():
+    """An L2 instrumented through the fused probe engine."""
     cache = bare_cache()
     engine = FusedProbeEngine(ASSOCIATIVITY)
-    engine.add_scheme(NaiveLookup(ASSOCIATIVITY))
-    engine.add_scheme(MRULookup(ASSOCIATIVITY))
-    engine.add_scheme(PartialCompareLookup(ASSOCIATIVITY, tag_bits=16))
+    engine.add_scheme(NaiveLookup(ASSOCIATIVITY), label="naive")
+    engine.add_scheme(MRULookup(ASSOCIATIVITY), label="mru")
+    engine.add_scheme(
+        PartialCompareLookup(ASSOCIATIVITY, tag_bits=16), label="partial"
+    )
     cache.attach_engine(engine)
     return cache
 
 
 def legacy_cache():
+    """An L2 instrumented through the per-observer reference path."""
     cache = bare_cache()
     cache.attach_all(
         [
@@ -74,23 +83,42 @@ def legacy_cache():
     return cache
 
 
-def best_time(stream, make_cache, repetitions):
-    best = float("inf")
-    for _ in range(repetitions):
-        cache = make_cache()
-        start = time.perf_counter()
-        replay_miss_stream(stream, cache)
-        if cache.engine is not None:
-            cache.engine.finalize()
-        best = min(best, time.perf_counter() - start)
-    return best
+def replay_once(stream, make_cache):
+    """One full replay from cold state; returns the finalized cache."""
+    cache = make_cache()
+    replay_miss_stream(stream, cache)
+    if cache.engine is not None:
+        cache.engine.finalize()
+    return cache
+
+
+def probe_count_totals(cache) -> dict:
+    """Deterministic per-scheme probe totals of a fused-engine cache.
+
+    These are exact integer functions of the replayed stream — the
+    invariant ``repro-bench-compare`` checks bit-identically across
+    runs of the same config.
+    """
+    totals = {}
+    for label, channel in cache.engine.channels.items():
+        accumulator = channel.accumulator
+        totals[label] = {
+            "hit_accesses": accumulator.hit_accesses,
+            "hit_probes": accumulator.hit_probes,
+            "miss_accesses": accumulator.miss_accesses,
+            "miss_probes": accumulator.miss_probes,
+            "writeback_accesses": accumulator.writeback_accesses,
+            "writeback_probes": accumulator.writeback_probes,
+        }
+    return totals
 
 
 def main(argv=None) -> int:
+    """Run the benchmark and append one entry to the history file."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "-o", "--output", default="BENCH_simulator.json",
-        help="output JSON path (default: %(default)s)",
+        help="benchmark history JSON path, appended to (default: %(default)s)",
     )
     parser.add_argument(
         "--references", type=int, default=30_000,
@@ -98,7 +126,15 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repetitions", type=int, default=7,
-        help="timing repetitions; the best is reported (default: %(default)s)",
+        help="timed repetitions per configuration (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed warmup rounds per configuration (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="start a new history instead of appending to an existing one",
     )
     args = parser.parse_args(argv)
 
@@ -110,6 +146,7 @@ def main(argv=None) -> int:
     config = {
         "references_per_segment": args.references,
         "repetitions": args.repetitions,
+        "warmup": args.warmup,
         "seed": 21,
         "l1": f"{L1_CAPACITY}B/{L1_BLOCK}B",
         "l2": f"{L2_CAPACITY}B/{L2_BLOCK}B/a{ASSOCIATIVITY}",
@@ -124,25 +161,36 @@ def main(argv=None) -> int:
         "l2_replay_legacy_observers": legacy_cache,
     }
     results = {}
+    probe_counts = {}
     for name, make_cache in configurations.items():
-        with tracer.span(name, repetitions=args.repetitions):
-            seconds = best_time(stream, make_cache, args.repetitions)
-        timing = tracer.records[-1]
-        metrics.histogram("bench.best_seconds").observe(seconds)
+        with tracer.span(
+            name, repetitions=args.repetitions, warmup=args.warmup
+        ):
+            timing = measure(
+                lambda mc=make_cache: replay_once(stream, mc),
+                repeats=args.repetitions,
+                warmup=args.warmup,
+            )
+        span_record = tracer.records[-1]
+        metrics.histogram("bench.median_seconds").observe(timing.median)
         results[name] = {
-            "best_seconds": seconds,
+            "timing": timing.to_dict(),
             "requests": requests,
-            "requests_per_second": requests / seconds,
-            "phase_wall_seconds": timing.wall_seconds,
-            "phase_cpu_seconds": timing.cpu_seconds,
+            "requests_per_second": requests / timing.median,
+            "phase_wall_seconds": span_record.wall_seconds,
+            "phase_cpu_seconds": span_record.cpu_seconds,
         }
+        if name == "l2_replay_fused_engine":
+            probe_counts = probe_count_totals(timing.last_result)
         print(
-            f"{name:30s} {seconds * 1e3:8.2f} ms   "
-            f"{requests / seconds:12.0f} req/s"
+            f"{name:30s} {timing.median * 1e3:8.2f} ms  "
+            f"±{timing.mad * 1e3:6.2f} (MAD)  "
+            f"CI [{timing.ci_low * 1e3:7.2f}, {timing.ci_high * 1e3:7.2f}]  "
+            f"{requests / timing.median:12.0f} req/s"
         )
 
-    fused = results["l2_replay_fused_engine"]["best_seconds"]
-    legacy = results["l2_replay_legacy_observers"]["best_seconds"]
+    fused = results["l2_replay_fused_engine"]["timing"]["median_seconds"]
+    legacy = results["l2_replay_legacy_observers"]["timing"]["median_seconds"]
     summary = {
         "fused_speedup_over_legacy": legacy / fused,
         "python": platform.python_version(),
@@ -159,10 +207,12 @@ def main(argv=None) -> int:
         metrics=metrics,
         extra={"results_file": output.name},
     )
-    for entry in results.values():
-        entry["config_hash"] = manifest.config_hash
-    payload = {
-        "workload": {
+    entry = build_entry(
+        config=config,
+        config_hash=manifest.config_hash,
+        results=results,
+        probe_counts=probe_counts,
+        workload={
             "segments": 1,
             "references_per_segment": args.references,
             "seed": 21,
@@ -170,16 +220,18 @@ def main(argv=None) -> int:
             "l2": f"{L2_CAPACITY}B/{L2_BLOCK}B/a{ASSOCIATIVITY}",
             "l2_requests": requests,
         },
-        "config_hash": manifest.config_hash,
-        "phases": tracer.phase_timings(),
-        "results": results,
-        "summary": summary,
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
+        summary=summary,
+    )
+    history = (
+        BenchHistory() if args.fresh else BenchHistory.load_or_create(output)
+    )
+    replaced = history.append(entry)
+    history.save(output)
     manifest_path = manifest.write(output.with_suffix(".manifest.json"))
     trace_path = output.with_suffix(".trace.jsonl")
     tracer.write_jsonl(trace_path)
-    print(f"wrote {output}")
+    verb = "replaced entry in" if replaced else "appended entry to"
+    print(f"{verb} {output} ({len(history)} total)")
     print(f"wrote {manifest_path} and {trace_path}")
     return 0
 

@@ -14,6 +14,12 @@ The package answers three questions about every run:
   per-phase timings, metric snapshot) validated by
   :mod:`repro.obs.validate`.
 
+- **Did it get slower?** — :mod:`repro.obs.bench`: a statistical
+  timing harness (warmup, repeats, median/MAD, bootstrap CIs) plus the
+  append-only benchmark-trajectory store, gated by
+  :mod:`repro.obs.compare` (``repro-bench-compare``) and attributed by
+  :mod:`repro.obs.trace_report` (``repro-trace-report``).
+
 Plus the shared plumbing: :mod:`repro.obs.jsonl` (the line-delimited
 sink/reader), :mod:`repro.obs.log` (the structured, env-controlled
 logger behind the CLIs), and :mod:`repro.obs.progress` (live per-shard
@@ -26,6 +32,15 @@ finalize, workers at shard end). ``repro.obs`` imports nothing from
 the rest of the package, so any module can depend on it.
 """
 
+from repro.obs.bench import (
+    BENCH_HISTORY_SCHEMA_VERSION,
+    BenchHistory,
+    TimingResult,
+    bootstrap_ci,
+    environment_fingerprint,
+    measure,
+)
+from repro.obs.compare import compare_entries
 from repro.obs.jsonl import JsonlWriter, read_jsonl, write_jsonl
 from repro.obs.log import StructuredLogger, log
 from repro.obs.manifest import (
@@ -51,7 +66,10 @@ from repro.obs.spans import (
     set_tracer,
     span,
 )
+from repro.obs.trace_report import aggregate_trace, build_report, merge_aggregates
 from repro.obs.validate import (
+    validate_history,
+    validate_history_file,
     validate_manifest,
     validate_manifest_file,
     validate_span,
@@ -59,6 +77,8 @@ from repro.obs.validate import (
 )
 
 __all__ = [
+    "BENCH_HISTORY_SCHEMA_VERSION",
+    "BenchHistory",
     "Counter",
     "Gauge",
     "Histogram",
@@ -69,18 +89,28 @@ __all__ = [
     "RunManifest",
     "SpanRecord",
     "StructuredLogger",
+    "TimingResult",
     "Tracer",
+    "aggregate_trace",
+    "bootstrap_ci",
+    "build_report",
+    "compare_entries",
     "config_hash",
     "describe_workload",
+    "environment_fingerprint",
     "get_metrics",
     "get_tracer",
     "git_sha",
     "log",
+    "measure",
+    "merge_aggregates",
     "progress_enabled",
     "read_jsonl",
     "set_metrics",
     "set_tracer",
     "span",
+    "validate_history",
+    "validate_history_file",
     "validate_manifest",
     "validate_manifest_file",
     "validate_span",

@@ -1,0 +1,434 @@
+"""Statistical timing harness and the benchmark-trajectory store.
+
+Two halves, one discipline — benchmark numbers must be *statistically
+honest* and *attributable*:
+
+- :func:`measure` replaces best-of-N wall clock with a proper timing
+  protocol: warmup rounds (JIT-free Python still warms allocator and
+  branch caches), N timed repeats, then robust statistics — median,
+  MAD (median absolute deviation), and a bootstrap confidence interval
+  of the median. The result carries the raw samples, so downstream
+  comparisons can re-derive anything.
+- :class:`BenchHistory` turns ``BENCH_simulator.json`` from a
+  write-once snapshot into an append-only *trajectory*: a
+  schema-versioned history of entries keyed by ``config_hash`` + git
+  SHA, deduplicated on re-runs, each entry self-describing (config,
+  environment fingerprint, workload identity, timing stats, and the
+  deterministic probe-count totals the regression gate checks
+  bit-identically).
+
+The consumers live next door: :mod:`repro.obs.compare` gates
+regressions against the history, :mod:`repro.obs.validate` checks the
+schema, and ``scripts/run_benchmarks.py`` produces the entries.
+Everything here depends only on the standard library, per the
+``repro.obs`` import rule.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import random
+import statistics
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.manifest import git_sha
+
+#: Version of the ``BENCH_*.json`` history layout (bump on breaking
+#: changes; :mod:`repro.obs.validate` rejects newer-than-supported).
+BENCH_HISTORY_SCHEMA_VERSION = 1
+
+#: Default bootstrap resample count for confidence intervals.
+DEFAULT_RESAMPLES = 500
+
+#: Default two-sided confidence level for the bootstrap interval.
+DEFAULT_CONFIDENCE = 0.95
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Identity of the measuring machine, for apples-to-apples checks.
+
+    Timing comparisons across different hosts are noise by
+    construction; the fingerprint lets :mod:`repro.obs.compare` tell
+    a same-machine regression from a cross-machine artifact.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def median_abs_deviation(samples: List[float]) -> float:
+    """Median absolute deviation from the median — a robust spread.
+
+    Unlike standard deviation, a single outlier repeat (GC pause,
+    scheduler hiccup) barely moves it.
+    """
+    if not samples:
+        return 0.0
+    center = statistics.median(samples)
+    return statistics.median([abs(x - center) for x in samples])
+
+
+def bootstrap_ci(
+    samples: List[float],
+    resamples: int = DEFAULT_RESAMPLES,
+    confidence: float = DEFAULT_CONFIDENCE,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Bootstrap confidence interval of the *median* of ``samples``.
+
+    Resamples with replacement ``resamples`` times (seeded, so the
+    interval is reproducible from the same samples), takes each
+    resample's median, and returns the symmetric
+    ``(1 - confidence) / 2`` percentiles of that distribution.
+
+    With a single sample the interval collapses to ``(x, x)`` — a
+    degenerate but honest statement that no spread was observed.
+    """
+    if not samples:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    if len(samples) == 1:
+        return (samples[0], samples[0])
+    rng = random.Random(seed)
+    n = len(samples)
+    medians = sorted(
+        statistics.median(rng.choices(samples, k=n)) for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = min(len(medians) - 1, max(0, math.floor(alpha * len(medians))))
+    hi_index = min(
+        len(medians) - 1, max(0, math.ceil((1.0 - alpha) * len(medians)) - 1)
+    )
+    return (medians[lo_index], medians[hi_index])
+
+
+class TimingResult:
+    """Statistics of one :func:`measure` call, samples included.
+
+    Attributes:
+        samples: Per-repeat wall-clock seconds, in run order.
+        repeats: Number of timed repeats (``len(samples)``).
+        warmup: Untimed warmup rounds that preceded the samples.
+        median: Median of the samples (the headline number).
+        mad: Median absolute deviation (robust spread).
+        mean: Arithmetic mean (for comparison with older best-of-N).
+        best: Fastest repeat (what best-of-N used to report).
+        ci_low: Lower bound of the bootstrap CI of the median.
+        ci_high: Upper bound of the bootstrap CI of the median.
+        last_result: Whatever the timed callable returned on its final
+            repeat — lets callers pull deterministic by-products (e.g.
+            probe accumulators) out of the measured run for free.
+    """
+
+    __slots__ = (
+        "samples", "repeats", "warmup", "median", "mad", "mean",
+        "best", "ci_low", "ci_high", "last_result",
+    )
+
+    def __init__(
+        self,
+        samples: List[float],
+        warmup: int,
+        resamples: int = DEFAULT_RESAMPLES,
+        confidence: float = DEFAULT_CONFIDENCE,
+        last_result: Any = None,
+    ) -> None:
+        if not samples:
+            raise ValueError("TimingResult needs at least one sample")
+        self.samples = list(samples)
+        self.repeats = len(samples)
+        self.warmup = warmup
+        self.median = statistics.median(samples)
+        self.mad = median_abs_deviation(samples)
+        self.mean = statistics.fmean(samples)
+        self.best = min(samples)
+        self.ci_low, self.ci_high = bootstrap_ci(
+            samples, resamples=resamples, confidence=confidence
+        )
+        self.last_result = last_result
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form stored in history entries (JSON-able)."""
+        return {
+            "samples": self.samples,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "median_seconds": self.median,
+            "mad_seconds": self.mad,
+            "mean_seconds": self.mean,
+            "best_seconds": self.best,
+            "ci_low_seconds": self.ci_low,
+            "ci_high_seconds": self.ci_high,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingResult(median={self.median:.6f}, mad={self.mad:.6f}, "
+            f"ci=[{self.ci_low:.6f}, {self.ci_high:.6f}], "
+            f"repeats={self.repeats})"
+        )
+
+
+def measure(
+    fn: Callable[[], Any],
+    repeats: int = 5,
+    warmup: int = 1,
+    resamples: int = DEFAULT_RESAMPLES,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> TimingResult:
+    """Time ``fn`` statistically: warmup, N repeats, robust stats.
+
+    Every round calls ``fn()`` afresh (setup belongs inside the
+    callable so each repeat measures identical work from cold state).
+    Warmup rounds run and are discarded; the ``repeats`` timed rounds
+    become :class:`TimingResult` samples with median/MAD and a
+    bootstrap CI of the median.
+
+    Args:
+        fn: Zero-argument callable doing the work to time.
+        repeats: Timed rounds (>= 1).
+        warmup: Untimed rounds before measuring (>= 0).
+        resamples: Bootstrap resample count for the CI.
+        confidence: Two-sided CI level (e.g. ``0.95``).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    outcome = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outcome = fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        samples,
+        warmup=warmup,
+        resamples=resamples,
+        confidence=confidence,
+        last_result=outcome,
+    )
+
+
+def build_entry(
+    config: Dict[str, Any],
+    config_hash: str,
+    results: Dict[str, Dict[str, Any]],
+    probe_counts: Optional[Dict[str, Dict[str, int]]] = None,
+    workload: Optional[Dict[str, Any]] = None,
+    summary: Optional[Dict[str, Any]] = None,
+    sha: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble one self-describing history entry.
+
+    Args:
+        config: The canonical run configuration (what was hashed).
+        config_hash: Its content address
+            (:func:`repro.obs.manifest.config_hash`).
+        results: Per-configuration results; each value should carry a
+            ``"timing"`` block (:meth:`TimingResult.to_dict`).
+        probe_counts: Deterministic per-scheme probe totals — the
+            bit-identical invariant :mod:`repro.obs.compare` enforces.
+        workload: Workload identity
+            (:func:`repro.obs.manifest.describe_workload`).
+        summary: Free-form derived numbers (speedups, etc.).
+        sha: Git SHA override; defaults to the current checkout's.
+    """
+    return {
+        "created_unix": time.time(),
+        "git_sha": sha if sha is not None else git_sha(),
+        "config_hash": config_hash,
+        "config": config,
+        "environment": environment_fingerprint(),
+        "workload": workload,
+        "results": results,
+        "probe_counts": probe_counts or {},
+        "summary": summary or {},
+    }
+
+
+def _migrate_legacy_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a pre-history single-run payload into one entry.
+
+    The PR-1 format was ``{"workload", "config_hash", "phases",
+    "results": {name: {"best_seconds", ...}}, "summary"}`` — one run,
+    clobbered on every rewrite. Its single best-of-N number becomes a
+    one-sample timing block so the trajectory keeps the data point.
+    """
+    results = {}
+    for name, legacy in payload.get("results", {}).items():
+        best = legacy.get("best_seconds")
+        timing = (
+            TimingResult([best], warmup=0).to_dict()
+            if isinstance(best, (int, float))
+            else None
+        )
+        entry = {k: v for k, v in legacy.items() if k != "config_hash"}
+        entry["timing"] = timing
+        results[name] = entry
+    return {
+        "created_unix": 0.0,
+        "git_sha": None,
+        "config_hash": payload.get("config_hash", ""),
+        "config": payload.get("config", {}),
+        "environment": {},
+        "workload": payload.get("workload"),
+        "results": results,
+        "probe_counts": {},
+        "summary": payload.get("summary", {}),
+        "migrated_from": "legacy-single-run",
+    }
+
+
+class BenchHistory:
+    """Append-only benchmark trajectory backed by one JSON file.
+
+    The on-disk shape is self-describing::
+
+        {"schema_version": 1,
+         "benchmark": "simulator_throughput",
+         "entries": [ {...}, {...} ]}
+
+    Entries are ordered oldest-first. :meth:`append` deduplicates
+    re-runs of an identical configuration at an identical commit
+    (same ``config_hash`` *and* ``git_sha``) by replacing the stale
+    entry in place, so repeated local runs refine rather than pad the
+    trajectory. Loading a legacy single-run payload transparently
+    migrates it into the first entry — fixing the old behavior where
+    ``run_benchmarks.py -o`` clobbered all prior results.
+    """
+
+    def __init__(self, data: Optional[Dict[str, Any]] = None) -> None:
+        if data is None:
+            data = {
+                "schema_version": BENCH_HISTORY_SCHEMA_VERSION,
+                "benchmark": "simulator_throughput",
+                "entries": [],
+            }
+        self.data = data
+
+    @classmethod
+    def load(cls, path) -> "BenchHistory":
+        """Read a history file; legacy single-run payloads migrate."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: benchmark history is not a JSON object")
+        if "entries" not in payload:
+            history = cls()
+            history.data["entries"].append(_migrate_legacy_payload(payload))
+            return history
+        return cls(payload)
+
+    @classmethod
+    def load_or_create(cls, path) -> "BenchHistory":
+        """Load ``path`` if it exists, else start an empty history."""
+        path = Path(path)
+        if path.exists():
+            return cls.load(path)
+        return cls()
+
+    @property
+    def entries(self) -> List[Dict[str, Any]]:
+        """The history entries, oldest first."""
+        return self.data["entries"]
+
+    @property
+    def schema_version(self) -> int:
+        """The loaded file's schema version."""
+        return self.data.get("schema_version", BENCH_HISTORY_SCHEMA_VERSION)
+
+    def append(self, entry: Dict[str, Any], dedupe: bool = True) -> bool:
+        """Add ``entry``; returns ``True`` if it replaced a duplicate.
+
+        A duplicate is an existing entry with the same ``config_hash``
+        and the same non-``None`` ``git_sha`` — i.e. a re-run of the
+        identical experiment at the identical commit. The newest data
+        wins in place (trajectory order preserved).
+        """
+        if dedupe and entry.get("git_sha") is not None:
+            key = (entry.get("config_hash"), entry.get("git_sha"))
+            for index, existing in enumerate(self.entries):
+                if (existing.get("config_hash"), existing.get("git_sha")) == key:
+                    self.entries[index] = entry
+                    return True
+        self.entries.append(entry)
+        return False
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        """The newest entry, or ``None`` if the trajectory is empty."""
+        return self.entries[-1] if self.entries else None
+
+    def baseline_for(self, index: int = -1) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """The newest *earlier* entry sharing ``entries[index]``'s config.
+
+        Returns ``(absolute_index, entry)`` or ``None`` when no earlier
+        same-``config_hash`` entry exists (first run of a config).
+        Timing comparisons across different configs are meaningless, so
+        the regression gate only ever baselines within a config lineage.
+        """
+        if not self.entries:
+            return None
+        candidate_index = index % len(self.entries)
+        target = self.entries[candidate_index].get("config_hash")
+        for earlier in range(candidate_index - 1, -1, -1):
+            if self.entries[earlier].get("config_hash") == target:
+                return (earlier, self.entries[earlier])
+        return None
+
+    def find(self, selector: str) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Locate an entry by index string, git SHA prefix, or config hash.
+
+        Tries, in order: integer index (negative allowed), ``git_sha``
+        prefix match (newest first), ``config_hash`` prefix match
+        (newest first). An all-digit selector out of index range falls
+        through to prefix matching (it may be a numeric SHA prefix).
+        Returns ``(absolute_index, entry)`` or ``None``.
+        """
+        try:
+            index = int(selector)
+        except ValueError:
+            pass
+        else:
+            if -len(self.entries) <= index < len(self.entries):
+                return (index % len(self.entries), self.entries[index])
+        for position in range(len(self.entries) - 1, -1, -1):
+            sha = self.entries[position].get("git_sha") or ""
+            if sha.startswith(selector):
+                return (position, self.entries[position])
+        for position in range(len(self.entries) - 1, -1, -1):
+            if (self.entries[position].get("config_hash") or "").startswith(
+                selector
+            ):
+                return (position, self.entries[position])
+        return None
+
+    def to_json(self) -> str:
+        """The history as pretty-printed JSON (entry order preserved)."""
+        return json.dumps(self.data, indent=2, sort_keys=False, default=repr)
+
+    def save(self, path) -> Path:
+        """Write the history to ``path`` (parents created); returns it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"BenchHistory(entries={len(self.entries)}, "
+            f"schema_version={self.schema_version})"
+        )

@@ -1,0 +1,408 @@
+"""``repro-bench-compare``: the statistical benchmark regression gate.
+
+Diffs the newest entry of a :class:`~repro.obs.bench.BenchHistory`
+against a baseline (by default the newest earlier entry with the same
+``config_hash``) and renders a machine-readable verdict. Two kinds of
+checks, with deliberately different strictness:
+
+- **Timing** is noisy, so a regression is flagged only when the
+  evidence is statistical: the bootstrap confidence intervals of the
+  two medians must be *disjoint* (candidate strictly slower) **and**
+  the median slowdown must exceed a relative threshold. A bare
+  percentage test would page on scheduler jitter; CI overlap will not.
+  Cross-machine comparisons (different environment fingerprints) are
+  reported but never hard-fail — they are noise by construction.
+- **Probe counts** are deterministic functions of the replayed stream,
+  so for entries with equal ``config_hash`` they must be
+  **bit-identical**. Any drift is a correctness failure (the fused
+  engine or a scheme model changed behavior), never noise, and fails
+  even in ``--report-only`` mode.
+
+Exit codes: 0 OK (or timing regression under ``--report-only``),
+1 usage/input error, 2 timing regression, 3 probe-count drift.
+
+Usage::
+
+    repro-bench-compare BENCH_simulator.json
+    repro-bench-compare BENCH_simulator.json --baseline 0 --json verdict.json
+    repro-bench-compare BENCH_simulator.json --report-only   # CI mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.bench import BenchHistory
+
+#: Minimum relative median slowdown that can count as a regression,
+#: even with disjoint confidence intervals.
+DEFAULT_THRESHOLD = 0.05
+
+#: Exit code for a statistically significant timing regression.
+EXIT_TIMING_REGRESSION = 2
+
+#: Exit code for probe-count drift (bit-identical invariant broken).
+EXIT_PROBE_DRIFT = 3
+
+
+def _timing_block(result: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The ``timing`` stats dict of one per-configuration result."""
+    timing = result.get("timing")
+    if isinstance(timing, dict) and "median_seconds" in timing:
+        return timing
+    return None
+
+
+def compare_timing(
+    name: str,
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold: float,
+) -> Dict[str, Any]:
+    """CI-overlap comparison of one configuration's timing stats.
+
+    Returns a check row with ``status`` one of:
+
+    - ``"regression"`` — candidate CI entirely above baseline CI *and*
+      median slowdown beyond ``threshold``;
+    - ``"improved"`` — the mirror image;
+    - ``"ok"`` — overlapping intervals or sub-threshold median shift
+      (statistically indistinguishable);
+    - ``"incomparable"`` — a side lacks timing stats.
+    """
+    base = _timing_block(baseline)
+    cand = _timing_block(candidate)
+    row: Dict[str, Any] = {"name": name, "metric": "wall_seconds"}
+    if base is None or cand is None:
+        row["status"] = "incomparable"
+        return row
+    base_median = base["median_seconds"]
+    cand_median = cand["median_seconds"]
+    ratio = (cand_median / base_median) if base_median > 0 else float("inf")
+    disjoint_slower = cand["ci_low_seconds"] > base["ci_high_seconds"]
+    disjoint_faster = cand["ci_high_seconds"] < base["ci_low_seconds"]
+    row.update(
+        {
+            "baseline_median_seconds": base_median,
+            "candidate_median_seconds": cand_median,
+            "baseline_ci_seconds": [
+                base["ci_low_seconds"], base["ci_high_seconds"],
+            ],
+            "candidate_ci_seconds": [
+                cand["ci_low_seconds"], cand["ci_high_seconds"],
+            ],
+            "ratio": ratio,
+            "ci_overlap": not (disjoint_slower or disjoint_faster),
+        }
+    )
+    if disjoint_slower and ratio > 1.0 + threshold:
+        row["status"] = "regression"
+    elif disjoint_faster and ratio < 1.0 - threshold:
+        row["status"] = "improved"
+    else:
+        row["status"] = "ok"
+    return row
+
+
+def compare_probe_counts(
+    baseline: Dict[str, Any], candidate: Dict[str, Any]
+) -> List[str]:
+    """Bit-identical diff of two entries' deterministic probe totals.
+
+    Only meaningful when both entries share a ``config_hash`` (the
+    caller checks); returns one human-readable drift message per
+    mismatch, empty when identical. Schemes present on only one side
+    count as drift — a silently dropped channel is as suspect as a
+    changed total.
+    """
+    base = baseline.get("probe_counts") or {}
+    cand = candidate.get("probe_counts") or {}
+    drift = []
+    for scheme in sorted(set(base) | set(cand)):
+        if scheme not in base:
+            drift.append(f"probe_counts[{scheme!r}]: only in candidate")
+            continue
+        if scheme not in cand:
+            drift.append(f"probe_counts[{scheme!r}]: only in baseline")
+            continue
+        fields = sorted(set(base[scheme]) | set(cand[scheme]))
+        for field in fields:
+            left = base[scheme].get(field)
+            right = cand[scheme].get(field)
+            if left != right:
+                drift.append(
+                    f"probe_counts[{scheme!r}].{field}: "
+                    f"baseline {left!r} != candidate {right!r}"
+                )
+    return drift
+
+
+def _identity(index: Optional[int], entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Compact identity block of one entry for the verdict document."""
+    return {
+        "index": index,
+        "git_sha": entry.get("git_sha"),
+        "config_hash": entry.get("config_hash"),
+        "created_unix": entry.get("created_unix"),
+    }
+
+
+def compare_entries(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    baseline_index: Optional[int] = None,
+    candidate_index: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Full comparison of two history entries: the verdict document.
+
+    The document is self-contained and machine-readable — CI archives
+    it, humans read the ``verdict`` field first::
+
+        {"verdict": "ok" | "timing-regression" | "probe-drift",
+         "baseline": {...}, "candidate": {...},
+         "environment_match": bool, "config_hash_match": bool,
+         "timing": [check rows], "probe_drift": [messages],
+         "notes": [strings]}
+
+    Probe drift dominates the verdict (it is a correctness failure);
+    timing regressions are only flagged between same-config entries
+    measured on the same environment fingerprint.
+    """
+    config_match = (
+        baseline.get("config_hash") == candidate.get("config_hash")
+    )
+    env_match = (
+        baseline.get("environment") == candidate.get("environment")
+    )
+    self_compare = baseline is candidate or (
+        baseline_index is not None and baseline_index == candidate_index
+    )
+    notes: List[str] = []
+    if self_compare:
+        notes.append(
+            "baseline and candidate are the same entry (self-comparison)"
+        )
+    if not config_match:
+        notes.append(
+            "config_hash differs: timing compared informationally, "
+            "probe counts not comparable"
+        )
+    if not env_match and not self_compare:
+        notes.append(
+            "environment fingerprints differ: timing differences are "
+            "cross-machine noise, not regressions"
+        )
+
+    base_results = baseline.get("results") or {}
+    cand_results = candidate.get("results") or {}
+    timing_rows = [
+        compare_timing(name, base_results[name], cand_results[name], threshold)
+        for name in sorted(set(base_results) & set(cand_results))
+    ]
+    for name in sorted(set(base_results) ^ set(cand_results)):
+        side = "baseline" if name in base_results else "candidate"
+        notes.append(f"result {name!r} present only in {side}")
+
+    probe_drift = (
+        compare_probe_counts(baseline, candidate) if config_match else []
+    )
+    timing_regressed = env_match and config_match and any(
+        row["status"] == "regression" for row in timing_rows
+    )
+    if probe_drift:
+        verdict = "probe-drift"
+    elif timing_regressed:
+        verdict = "timing-regression"
+    else:
+        verdict = "ok"
+    return {
+        "verdict": verdict,
+        "threshold": threshold,
+        "config_hash_match": config_match,
+        "environment_match": env_match,
+        "baseline": _identity(baseline_index, baseline),
+        "candidate": _identity(candidate_index, candidate),
+        "timing": timing_rows,
+        "probe_drift": probe_drift,
+        "notes": notes,
+    }
+
+
+def render_verdict(report: Dict[str, Any]) -> str:
+    """Terminal-friendly summary of a :func:`compare_entries` report."""
+    lines = []
+    base = report["baseline"]
+    cand = report["candidate"]
+    lines.append(
+        "baseline : entry {index} sha={sha} config={config}".format(
+            index=base["index"],
+            sha=(base["git_sha"] or "?")[:12],
+            config=base["config_hash"],
+        )
+    )
+    lines.append(
+        "candidate: entry {index} sha={sha} config={config}".format(
+            index=cand["index"],
+            sha=(cand["git_sha"] or "?")[:12],
+            config=cand["config_hash"],
+        )
+    )
+    for row in report["timing"]:
+        if row["status"] == "incomparable":
+            lines.append(f"  {row['name']:32s} (no timing stats)")
+            continue
+        lines.append(
+            "  {name:32s} {base:9.4f}s -> {cand:9.4f}s  x{ratio:5.3f}  {status}".format(
+                name=row["name"],
+                base=row["baseline_median_seconds"],
+                cand=row["candidate_median_seconds"],
+                ratio=row["ratio"],
+                status=row["status"].upper()
+                if row["status"] != "ok"
+                else "ok",
+            )
+        )
+    for message in report["probe_drift"]:
+        lines.append(f"  PROBE DRIFT: {message}")
+    for note in report["notes"]:
+        lines.append(f"  note: {note}")
+    lines.append(f"verdict: {report['verdict']}")
+    return "\n".join(lines)
+
+
+def _resolve_pair(
+    history: BenchHistory,
+    baseline_selector: Optional[str],
+    candidate_selector: Optional[str],
+) -> Tuple[Tuple[int, Dict[str, Any]], Tuple[int, Dict[str, Any]], List[str]]:
+    """Pick (baseline, candidate) entries; returns extra notes too.
+
+    Candidate defaults to the newest entry. Baseline defaults to the
+    newest earlier same-config entry, degrading to a self-comparison
+    (with a note) when the trajectory has no earlier lineage — so the
+    gate is usable from the very first committed entry.
+    """
+    notes: List[str] = []
+    if candidate_selector is None:
+        candidate_index = len(history.entries) - 1
+        candidate = history.entries[candidate_index]
+    else:
+        found = history.find(candidate_selector)
+        if found is None:
+            raise SystemExit(
+                f"error: candidate selector {candidate_selector!r} matches "
+                f"no history entry"
+            )
+        candidate_index, candidate = found
+    if baseline_selector is None or baseline_selector == "previous":
+        located = history.baseline_for(candidate_index)
+        if located is None:
+            notes.append(
+                "no earlier entry with the candidate's config_hash; "
+                "falling back to self-comparison"
+            )
+            located = (candidate_index, candidate)
+        baseline_index, baseline = located
+    elif baseline_selector == "self":
+        baseline_index, baseline = candidate_index, candidate
+    else:
+        found = history.find(baseline_selector)
+        if found is None:
+            raise SystemExit(
+                f"error: baseline selector {baseline_selector!r} matches "
+                f"no history entry"
+            )
+        baseline_index, baseline = found
+    return (baseline_index, baseline), (candidate_index, candidate), notes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: gate the newest benchmark entry against a baseline."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-compare",
+        description="Statistical benchmark regression gate over a "
+        "BENCH history file.",
+    )
+    parser.add_argument(
+        "history", help="path to a benchmark history JSON (BENCH_*.json)"
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="SELECTOR",
+        help="baseline entry: 'previous' (default: newest earlier entry "
+        "with the candidate's config_hash, self if none), 'self', an "
+        "integer index, a git SHA prefix, or a config_hash prefix",
+    )
+    parser.add_argument(
+        "--candidate", default=None, metavar="SELECTOR",
+        help="candidate entry (default: newest); same selector forms "
+        "as --baseline",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="minimum relative median slowdown to flag, on top of the "
+        "CI-disjointness requirement (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="report timing regressions without failing (exit 0); "
+        "probe-count drift still exits nonzero",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable verdict JSON to PATH "
+        "('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        history = BenchHistory.load(args.history)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not history.entries:
+        print(
+            f"error: {args.history} has no history entries", file=sys.stderr
+        )
+        return 1
+
+    (baseline_index, baseline), (candidate_index, candidate), notes = (
+        _resolve_pair(history, args.baseline, args.candidate)
+    )
+    report = compare_entries(
+        baseline,
+        candidate,
+        threshold=args.threshold,
+        baseline_index=baseline_index,
+        candidate_index=candidate_index,
+    )
+    report["notes"] = notes + report["notes"]
+    report["report_only"] = args.report_only
+
+    if report["verdict"] == "probe-drift":
+        exit_code = EXIT_PROBE_DRIFT
+    elif report["verdict"] == "timing-regression" and not args.report_only:
+        exit_code = EXIT_TIMING_REGRESSION
+    else:
+        exit_code = 0
+    report["exit_code"] = exit_code
+
+    rendered = render_verdict(report)
+    verdict_json = json.dumps(report, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(verdict_json)
+    else:
+        print(rendered)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(verdict_json + "\n")
+    if exit_code != 0:
+        print(f"FAIL: {report['verdict']}", file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,11 @@
-"""Schema validation for manifests and JSONL traces (zero-dependency).
+"""Schema validation for manifests, JSONL traces, and bench histories.
 
 Hand-rolled structural checks — no ``jsonschema`` dependency — used by
 tests and by CI's instrumented smoke sweep, which asserts that a real
-run produced a schema-valid manifest and trace before archiving them::
+run produced schema-valid artifacts before archiving them::
 
     python -m repro.obs.validate out/manifest.json --trace out/trace.jsonl
+    python -m repro.obs.validate --history BENCH_simulator.json
 
 Exit status 0 when everything validates; 1 with one error per line on
 stderr otherwise.
@@ -17,6 +18,7 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.obs.bench import BENCH_HISTORY_SCHEMA_VERSION
 from repro.obs.jsonl import read_jsonl
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
 
@@ -126,6 +128,96 @@ def validate_trace_file(path) -> List[str]:
     return errors
 
 
+#: Required benchmark-history entry keys and their accepted types.
+_HISTORY_ENTRY_FIELDS = {
+    "created_unix": (int, float),
+    "git_sha": (str, type(None)),
+    "config_hash": (str,),
+    "config": (dict,),
+    "environment": (dict,),
+    "results": (dict,),
+    "probe_counts": (dict,),
+    "summary": (dict,),
+}
+
+#: Required timing-stats keys inside each result's ``timing`` block.
+_TIMING_FIELDS = {
+    "samples": (list,),
+    "repeats": (int,),
+    "warmup": (int,),
+    "median_seconds": (int, float),
+    "mad_seconds": (int, float),
+    "ci_low_seconds": (int, float),
+    "ci_high_seconds": (int, float),
+}
+
+
+def validate_history(data: Dict[str, Any]) -> List[str]:
+    """Structural errors in a benchmark-history dict (empty = valid).
+
+    Checks the trajectory envelope (``schema_version``, ``benchmark``,
+    ``entries``), then every entry's identity keys and each result's
+    ``timing`` statistics block — the fields
+    :mod:`repro.obs.compare` dereferences unconditionally.
+    """
+    if not isinstance(data, dict):
+        return ["history: not a JSON object"]
+    errors = []
+    version = data.get("schema_version")
+    if not isinstance(version, int):
+        errors.append("history: missing or non-integer 'schema_version'")
+    elif version > BENCH_HISTORY_SCHEMA_VERSION:
+        errors.append(
+            f"history: schema_version {version} is newer than the "
+            f"supported {BENCH_HISTORY_SCHEMA_VERSION}"
+        )
+    if not isinstance(data.get("benchmark"), str):
+        errors.append("history: missing or non-string 'benchmark'")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        errors.append("history: missing or non-list 'entries'")
+        return errors
+    for index, entry in enumerate(entries):
+        where = f"history entry[{index}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        errors.extend(_check_fields(entry, _HISTORY_ENTRY_FIELDS, where))
+        results = entry.get("results")
+        if not isinstance(results, dict):
+            continue
+        for name, result in results.items():
+            if not isinstance(result, dict):
+                errors.append(f"{where}.results[{name!r}]: not an object")
+                continue
+            timing = result.get("timing")
+            if timing is None:
+                continue  # legacy-migrated entries may lack stats
+            if not isinstance(timing, dict):
+                errors.append(
+                    f"{where}.results[{name!r}].timing: not an object"
+                )
+                continue
+            errors.extend(
+                _check_fields(
+                    timing,
+                    _TIMING_FIELDS,
+                    f"{where}.results[{name!r}].timing",
+                )
+            )
+    return errors
+
+
+def validate_history_file(path) -> List[str]:
+    """Structural errors in a benchmark-history JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_history(data)
+
+
 def validate_manifest_file(path) -> List[str]:
     """Structural errors in a manifest JSON file."""
     try:
@@ -137,26 +229,41 @@ def validate_manifest_file(path) -> List[str]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI: validate a manifest (and optionally a trace); 0 iff valid."""
+    """CLI: validate manifests / traces / bench histories; 0 iff valid."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
-        description="Validate run manifests and JSONL traces.",
+        description="Validate run manifests, JSONL traces, and "
+        "benchmark-history files.",
     )
-    parser.add_argument("manifest", help="path to a manifest JSON file")
+    parser.add_argument(
+        "manifest", nargs="?", default=None,
+        help="path to a manifest JSON file",
+    )
     parser.add_argument(
         "--trace", default=None, help="path to a JSONL trace to validate too"
     )
+    parser.add_argument(
+        "--history", default=None,
+        help="path to a benchmark-history JSON (BENCH_*.json) to validate",
+    )
     args = parser.parse_args(argv)
-    errors = validate_manifest_file(args.manifest)
+    if args.manifest is None and args.trace is None and args.history is None:
+        parser.error("nothing to validate: give a manifest, --trace, or --history")
+    errors = []
+    checked = []
+    if args.manifest is not None:
+        errors.extend(validate_manifest_file(args.manifest))
+        checked.append(args.manifest)
     if args.trace is not None:
         errors.extend(validate_trace_file(args.trace))
+        checked.append(args.trace)
+    if args.history is not None:
+        errors.extend(validate_history_file(args.history))
+        checked.append(args.history)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
-        checked = args.manifest + (
-            f" and {args.trace}" if args.trace else ""
-        )
-        print(f"OK: {checked} schema-valid")
+        print(f"OK: {' and '.join(checked)} schema-valid")
     return 1 if errors else 0
 
 

@@ -1,0 +1,199 @@
+"""Statistical timing harness and the benchmark-trajectory store."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_HISTORY_SCHEMA_VERSION,
+    BenchHistory,
+    TimingResult,
+    bootstrap_ci,
+    build_entry,
+    environment_fingerprint,
+    measure,
+    median_abs_deviation,
+)
+from repro.obs.validate import validate_history
+
+
+class TestMeasure:
+    def test_repeats_and_warmup_counts(self):
+        calls = []
+        result = measure(lambda: calls.append(1), repeats=4, warmup=2)
+        assert len(calls) == 6  # 2 warmup + 4 timed
+        assert result.repeats == 4
+        assert result.warmup == 2
+        assert len(result.samples) == 4
+
+    def test_statistics_are_consistent(self):
+        result = measure(lambda: sum(range(2000)), repeats=5, warmup=1)
+        assert result.best <= result.median <= max(result.samples)
+        assert result.ci_low <= result.median <= result.ci_high
+        assert result.mad >= 0.0
+
+    def test_last_result_carries_return_value(self):
+        result = measure(lambda: "payload", repeats=3, warmup=0)
+        assert result.last_result == "payload"
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=1, warmup=-1)
+
+    def test_to_dict_round_trips_the_stats(self):
+        result = measure(lambda: None, repeats=3, warmup=1)
+        data = result.to_dict()
+        assert data["repeats"] == 3
+        assert data["warmup"] == 1
+        assert data["median_seconds"] == result.median
+        assert data["ci_low_seconds"] <= data["ci_high_seconds"]
+        assert len(data["samples"]) == 3
+        json.dumps(data)  # JSON-able
+
+
+class TestBootstrap:
+    def test_single_sample_collapses(self):
+        assert bootstrap_ci([0.5]) == (0.5, 0.5)
+
+    def test_deterministic_for_same_samples(self):
+        samples = [1.0, 1.1, 0.9, 1.05, 0.95]
+        assert bootstrap_ci(samples) == bootstrap_ci(samples)
+
+    def test_interval_brackets_the_median(self):
+        samples = [1.0, 1.2, 0.8, 1.1, 0.9, 1.0, 1.05]
+        low, high = bootstrap_ci(samples)
+        assert low <= 1.0 <= high
+        assert min(samples) <= low and high <= max(samples)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_mad_robust_to_outlier(self):
+        quiet = median_abs_deviation([1.0, 1.01, 0.99, 1.0, 1.02])
+        spiked = median_abs_deviation([1.0, 1.01, 0.99, 1.0, 50.0])
+        assert spiked < 0.1  # one outlier barely moves the MAD
+        assert quiet >= 0.0
+
+
+class TestEnvironmentFingerprint:
+    def test_identity_fields_present(self):
+        fingerprint = environment_fingerprint()
+        assert fingerprint["python"]
+        assert fingerprint["machine"] is not None
+        assert fingerprint["cpu_count"] >= 1
+        json.dumps(fingerprint)
+
+
+def make_entry(config_hash="cafe0123", sha="a" * 40, median=1.0, probes=100):
+    """A minimal, schema-valid history entry for store tests."""
+    timing = TimingResult(
+        [median * 0.98, median, median * 1.02], warmup=1
+    ).to_dict()
+    return build_entry(
+        config={"references": 4000},
+        config_hash=config_hash,
+        results={"l2_replay": {"timing": timing, "requests": 4000}},
+        probe_counts={"naive": {"hit_probes": probes}},
+        sha=sha,
+    )
+
+
+class TestBenchHistory:
+    def test_append_and_save_round_trip(self, tmp_path):
+        history = BenchHistory()
+        history.append(make_entry())
+        path = history.save(tmp_path / "BENCH.json")
+        loaded = BenchHistory.load(path)
+        assert len(loaded) == 1
+        assert loaded.schema_version == BENCH_HISTORY_SCHEMA_VERSION
+        assert validate_history(loaded.data) == []
+
+    def test_dedupe_replaces_same_config_and_sha(self):
+        history = BenchHistory()
+        assert history.append(make_entry(median=1.0)) is False
+        assert history.append(make_entry(median=2.0)) is True
+        assert len(history) == 1
+        timing = history.latest()["results"]["l2_replay"]["timing"]
+        assert timing["median_seconds"] == pytest.approx(2.0)
+
+    def test_different_sha_appends(self):
+        history = BenchHistory()
+        history.append(make_entry(sha="a" * 40))
+        history.append(make_entry(sha="b" * 40))
+        assert len(history) == 2
+
+    def test_unknown_sha_never_dedupes(self):
+        history = BenchHistory()
+        for _ in range(2):
+            entry = make_entry()
+            entry["git_sha"] = None  # e.g. measured outside a checkout
+            history.append(entry)
+        assert len(history) == 2
+
+    def test_baseline_for_skips_other_configs(self):
+        history = BenchHistory()
+        history.append(make_entry(config_hash="aaaa", sha="1" * 40))
+        history.append(make_entry(config_hash="bbbb", sha="2" * 40))
+        history.append(make_entry(config_hash="aaaa", sha="3" * 40))
+        located = history.baseline_for()
+        assert located is not None
+        index, entry = located
+        assert index == 0
+        assert entry["git_sha"] == "1" * 40
+
+    def test_baseline_for_first_of_config_is_none(self):
+        history = BenchHistory()
+        history.append(make_entry(config_hash="aaaa"))
+        assert history.baseline_for() is None
+
+    def test_find_by_index_sha_and_config_prefix(self):
+        history = BenchHistory()
+        history.append(make_entry(config_hash="feed", sha="abc" + "0" * 37))
+        history.append(make_entry(config_hash="f00d", sha="def" + "0" * 37))
+        assert history.find("0")[0] == 0
+        assert history.find("-1")[0] == 1
+        assert history.find("abc")[0] == 0
+        assert history.find("f00d")[0] == 1
+        assert history.find("nope") is None
+
+    def test_legacy_single_run_payload_migrates(self, tmp_path):
+        legacy = {
+            "workload": {"seed": 21},
+            "config_hash": "0123456789abcdef",
+            "phases": {},
+            "results": {
+                "l2_replay_bare": {
+                    "best_seconds": 0.002,
+                    "requests": 100,
+                    "requests_per_second": 50_000.0,
+                }
+            },
+            "summary": {"fused_speedup_over_legacy": 6.0},
+        }
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(legacy))
+        history = BenchHistory.load(path)
+        assert len(history) == 1
+        entry = history.latest()
+        assert entry["migrated_from"] == "legacy-single-run"
+        assert entry["config_hash"] == "0123456789abcdef"
+        timing = entry["results"]["l2_replay_bare"]["timing"]
+        assert timing["median_seconds"] == pytest.approx(0.002)
+        assert validate_history(history.data) == []
+        # Appending after migration preserves the legacy data point.
+        history.append(make_entry())
+        assert len(history) == 2
+
+    def test_load_or_create_missing_file(self, tmp_path):
+        history = BenchHistory.load_or_create(tmp_path / "missing.json")
+        assert len(history) == 0
+        assert history.latest() is None
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            BenchHistory.load(path)

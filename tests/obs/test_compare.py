@@ -1,0 +1,211 @@
+"""The statistical regression gate: compare logic and CLI exits."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import BenchHistory, TimingResult, build_entry
+from repro.obs.compare import (
+    EXIT_PROBE_DRIFT,
+    EXIT_TIMING_REGRESSION,
+    compare_entries,
+    compare_probe_counts,
+    compare_timing,
+    main,
+)
+
+
+def entry_with(median=1.0, spread=0.01, config_hash="cafe", sha="a" * 40,
+               probes=1000, environment=None):
+    """A history entry with tightly controlled timing statistics."""
+    samples = [median - spread, median, median + spread]
+    entry = build_entry(
+        config={"references": 4000},
+        config_hash=config_hash,
+        results={
+            "l2_replay_fused_engine": {
+                "timing": TimingResult(samples, warmup=1).to_dict(),
+                "requests": 4000,
+            }
+        },
+        probe_counts={
+            "naive": {"hit_probes": probes, "miss_probes": 17},
+            "mru": {"hit_probes": probes // 2, "miss_probes": 17},
+        },
+        sha=sha,
+    )
+    if environment is not None:
+        entry["environment"] = environment
+    return entry
+
+
+class TestCompareTiming:
+    def test_identical_is_ok(self):
+        entry = entry_with()
+        row = compare_timing(
+            "x",
+            entry["results"]["l2_replay_fused_engine"],
+            entry["results"]["l2_replay_fused_engine"],
+            threshold=0.05,
+        )
+        assert row["status"] == "ok"
+        assert row["ci_overlap"] is True
+
+    def test_disjoint_slower_is_regression(self):
+        base = entry_with(median=1.0)["results"]["l2_replay_fused_engine"]
+        cand = entry_with(median=3.0)["results"]["l2_replay_fused_engine"]
+        row = compare_timing("x", base, cand, threshold=0.05)
+        assert row["status"] == "regression"
+        assert row["ci_overlap"] is False
+        assert row["ratio"] == pytest.approx(3.0)
+
+    def test_disjoint_faster_is_improved(self):
+        base = entry_with(median=3.0)["results"]["l2_replay_fused_engine"]
+        cand = entry_with(median=1.0)["results"]["l2_replay_fused_engine"]
+        assert compare_timing("x", base, cand, 0.05)["status"] == "improved"
+
+    def test_overlapping_cis_never_regress(self):
+        # 3% slower but with wide, overlapping spread: statistically
+        # indistinguishable, so a bare-percentage gate would misfire.
+        base = entry_with(median=1.00, spread=0.2)
+        cand = entry_with(median=1.03, spread=0.2)
+        row = compare_timing(
+            "x",
+            base["results"]["l2_replay_fused_engine"],
+            cand["results"]["l2_replay_fused_engine"],
+            threshold=0.01,
+        )
+        assert row["status"] == "ok"
+        assert row["ci_overlap"] is True
+
+    def test_missing_stats_incomparable(self):
+        base = {"requests": 4000}
+        cand = entry_with()["results"]["l2_replay_fused_engine"]
+        assert compare_timing("x", base, cand, 0.05)["status"] == "incomparable"
+
+
+class TestCompareProbeCounts:
+    def test_identical_is_clean(self):
+        entry = entry_with()
+        assert compare_probe_counts(entry, entry) == []
+
+    def test_drifted_counter_is_reported(self):
+        base = entry_with(probes=1000)
+        cand = entry_with(probes=1001)
+        drift = compare_probe_counts(base, cand)
+        assert len(drift) == 1  # mru's 1000 // 2 == 1001 // 2, no drift
+        assert "hit_probes" in drift[0]
+        assert "1000" in drift[0] and "1001" in drift[0]
+
+    def test_missing_scheme_is_drift(self):
+        base = entry_with()
+        cand = copy.deepcopy(base)
+        del cand["probe_counts"]["mru"]
+        drift = compare_probe_counts(base, cand)
+        assert drift == ["probe_counts['mru']: only in baseline"]
+
+
+class TestCompareEntries:
+    def test_self_comparison_is_ok(self):
+        entry = entry_with()
+        report = compare_entries(entry, entry, baseline_index=0, candidate_index=0)
+        assert report["verdict"] == "ok"
+        assert report["config_hash_match"] is True
+
+    def test_probe_drift_dominates_verdict(self):
+        base = entry_with(median=1.0, probes=1000)
+        cand = entry_with(median=3.0, probes=999)
+        report = compare_entries(base, cand)
+        assert report["verdict"] == "probe-drift"
+
+    def test_cross_environment_timing_never_regresses(self):
+        base = entry_with(median=1.0, environment={"machine": "x86_64"})
+        cand = entry_with(median=3.0, environment={"machine": "arm64"})
+        report = compare_entries(base, cand)
+        assert report["verdict"] == "ok"
+        assert report["environment_match"] is False
+        assert any("cross-machine" in note for note in report["notes"])
+
+    def test_cross_config_probe_counts_not_compared(self):
+        base = entry_with(config_hash="aaaa", probes=1000)
+        cand = entry_with(config_hash="bbbb", probes=999)
+        report = compare_entries(base, cand)
+        assert report["verdict"] == "ok"
+        assert report["probe_drift"] == []
+        assert report["config_hash_match"] is False
+
+
+@pytest.fixture
+def history_path(tmp_path):
+    """A two-entry history: clean baseline, then a clean re-measure."""
+    history = BenchHistory()
+    history.append(entry_with(median=1.0, sha="1" * 40))
+    history.append(entry_with(median=1.005, sha="2" * 40))
+    return history.save(tmp_path / "BENCH.json")
+
+
+class TestCli:
+    def test_clean_history_exits_zero(self, history_path, capsys):
+        assert main([str(history_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+
+    def test_baseline_self_exits_zero(self, history_path):
+        assert main([str(history_path), "--baseline", "self"]) == 0
+
+    def test_single_entry_self_compares(self, tmp_path):
+        history = BenchHistory()
+        history.append(entry_with())
+        path = history.save(tmp_path / "BENCH.json")
+        assert main([str(path)]) == 0
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        history = BenchHistory()
+        history.append(entry_with(median=1.0, sha="1" * 40))
+        history.append(entry_with(median=3.0, sha="2" * 40))
+        path = history.save(tmp_path / "BENCH.json")
+        assert main([str(path)]) == EXIT_TIMING_REGRESSION
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "timing-regression" in captured.err
+
+    def test_report_only_downgrades_timing(self, tmp_path):
+        history = BenchHistory()
+        history.append(entry_with(median=1.0, sha="1" * 40))
+        history.append(entry_with(median=3.0, sha="2" * 40))
+        path = history.save(tmp_path / "BENCH.json")
+        assert main([str(path), "--report-only"]) == 0
+
+    def test_probe_drift_fails_even_report_only(self, tmp_path, capsys):
+        history = BenchHistory()
+        history.append(entry_with(probes=1000, sha="1" * 40))
+        history.append(entry_with(probes=1001, sha="2" * 40))
+        path = history.save(tmp_path / "BENCH.json")
+        assert main([str(path), "--report-only"]) == EXIT_PROBE_DRIFT
+        assert "PROBE DRIFT" in capsys.readouterr().out
+
+    def test_json_verdict_is_machine_readable(self, history_path, tmp_path):
+        verdict_path = tmp_path / "verdict.json"
+        assert main([str(history_path), "--json", str(verdict_path)]) == 0
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["verdict"] == "ok"
+        assert verdict["exit_code"] == 0
+        assert verdict["timing"]
+        assert verdict["baseline"]["config_hash"] == "cafe"
+
+    def test_baseline_selector_by_sha_prefix(self, history_path):
+        assert main([str(history_path), "--baseline", "1" * 12]) == 0
+
+    def test_unknown_selector_errors(self, history_path):
+        with pytest.raises(SystemExit):
+            main([str(history_path), "--baseline", "zzzz"])
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_history_exits_one(self, tmp_path, capsys):
+        path = BenchHistory().save(tmp_path / "BENCH.json")
+        assert main([str(path)]) == 1
+        assert "no history entries" in capsys.readouterr().err

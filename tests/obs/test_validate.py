@@ -1,0 +1,173 @@
+"""``repro-obs-validate`` on corrupted inputs: loud, pointed failures."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import BENCH_HISTORY_SCHEMA_VERSION, BenchHistory
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
+from repro.obs.spans import Tracer
+from repro.obs.validate import (
+    main,
+    validate_history,
+    validate_history_file,
+    validate_manifest,
+    validate_trace_file,
+)
+
+
+@pytest.fixture
+def valid_manifest_path(tmp_path):
+    """A freshly built, schema-valid manifest on disk."""
+    manifest = RunManifest.build(tool="test", config={"a": 1})
+    return manifest.write(tmp_path / "manifest.json")
+
+
+@pytest.fixture
+def valid_trace_path(tmp_path):
+    """A real single-span JSONL trace on disk."""
+    tracer = Tracer()
+    with tracer.span("phase"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(path)
+    return path
+
+
+class TestCorruptTrace:
+    def test_truncated_jsonl_line_fails_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # A valid record followed by a mid-write truncation.
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        tracer.write_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"name": "l2_replay", "path": "l2_re')
+        errors = validate_trace_file(path)
+        assert len(errors) == 1
+        assert "malformed JSONL" in errors[0]
+        assert ":2:" in errors[0]  # points at the truncated line
+
+    def test_cli_exits_nonzero_on_truncated_trace(
+        self, valid_manifest_path, tmp_path, capsys
+    ):
+        bad = tmp_path / "trace.jsonl"
+        bad.write_text('{"name": "x"')
+        assert main([str(valid_manifest_path), "--trace", str(bad)]) == 1
+        assert "malformed JSONL" in capsys.readouterr().err
+
+    def test_wrong_shape_record_fails(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"name": "x", "depth": 0}) + "\n")
+        errors = validate_trace_file(path)
+        assert any("missing required key 'path'" in e for e in errors)
+
+
+class TestCorruptManifest:
+    def test_missing_config_hash_is_pointed_at(self, valid_manifest_path):
+        data = json.loads(valid_manifest_path.read_text())
+        del data["config_hash"]
+        errors = validate_manifest(data)
+        assert errors == ["manifest: missing required key 'config_hash'"]
+
+    def test_newer_schema_version_rejected(self, valid_manifest_path):
+        data = json.loads(valid_manifest_path.read_text())
+        data["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        errors = validate_manifest(data)
+        assert len(errors) == 1
+        assert "newer than the supported" in errors[0]
+
+    def test_cli_exits_nonzero_on_missing_config_hash(
+        self, valid_manifest_path, capsys
+    ):
+        data = json.loads(valid_manifest_path.read_text())
+        del data["config_hash"]
+        valid_manifest_path.write_text(json.dumps(data))
+        assert main([str(valid_manifest_path)]) == 1
+        assert "config_hash" in capsys.readouterr().err
+
+    def test_unparseable_json_reported_with_path(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        path.write_text("{not json")
+        assert main([str(path)]) == 1
+        assert str(path) in capsys.readouterr().err
+
+
+class TestCorruptHistory:
+    def make_history(self, tmp_path):
+        history = BenchHistory()
+        history.append(
+            {
+                "created_unix": 0.0,
+                "git_sha": "a" * 40,
+                "config_hash": "cafe",
+                "config": {},
+                "environment": {},
+                "workload": None,
+                "results": {},
+                "probe_counts": {},
+                "summary": {},
+            }
+        )
+        return history.save(tmp_path / "BENCH.json")
+
+    def test_valid_history_passes(self, tmp_path):
+        path = self.make_history(tmp_path)
+        assert validate_history_file(path) == []
+
+    def test_newer_schema_version_rejected(self, tmp_path):
+        path = self.make_history(tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = BENCH_HISTORY_SCHEMA_VERSION + 1
+        errors = validate_history(data)
+        assert len(errors) == 1
+        assert "newer than the supported" in errors[0]
+
+    def test_entry_missing_config_hash_is_pointed_at(self, tmp_path):
+        path = self.make_history(tmp_path)
+        data = json.loads(path.read_text())
+        del data["entries"][0]["config_hash"]
+        errors = validate_history(data)
+        assert errors == [
+            "history entry[0]: missing required key 'config_hash'"
+        ]
+
+    def test_bad_timing_block_is_pointed_at(self, tmp_path):
+        path = self.make_history(tmp_path)
+        data = json.loads(path.read_text())
+        data["entries"][0]["results"]["x"] = {"timing": {"samples": []}}
+        errors = validate_history(data)
+        assert any("timing: missing required key 'median_seconds'" in e
+                   for e in errors)
+
+    def test_cli_history_flag_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"schema_version": 1}))
+        assert main(["--history", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "benchmark" in err and "entries" in err
+
+    def test_cli_history_flag_passes_valid(self, tmp_path, capsys):
+        path = self.make_history(tmp_path)
+        assert main(["--history", str(path)]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+
+class TestCliArguments:
+    def test_nothing_to_validate_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_manifest_and_trace_and_history_together(
+        self, valid_manifest_path, valid_trace_path, tmp_path, capsys
+    ):
+        history = TestCorruptHistory().make_history(tmp_path)
+        assert main(
+            [
+                str(valid_manifest_path),
+                "--trace", str(valid_trace_path),
+                "--history", str(history),
+            ]
+        ) == 0
+        assert "schema-valid" in capsys.readouterr().out
