@@ -51,11 +51,20 @@ from repro.core import (
     make_transform,
 )
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     ReproError,
     SimulationError,
     SweepPointError,
+    SweepTimeoutError,
     TraceFormatError,
+)
+from repro.resilience import (
+    FailurePolicy,
+    PointFailure,
+    RetryPolicy,
+    SweepCheckpoint,
+    SweepOutcome,
 )
 from repro.trace import AccessKind, AtumWorkload, Reference
 
@@ -64,8 +73,10 @@ __version__ = "1.0.0"
 __all__ = [
     "AccessKind",
     "AtumWorkload",
+    "CheckpointError",
     "ConfigurationError",
     "DirectMappedCache",
+    "FailurePolicy",
     "FusedProbeEngine",
     "LookupOutcome",
     "LookupScheme",
@@ -73,13 +84,18 @@ __all__ = [
     "MruDistanceObserver",
     "NaiveLookup",
     "PartialCompareLookup",
+    "PointFailure",
     "ProbeObserver",
     "Reference",
     "ReproError",
+    "RetryPolicy",
     "SetAssociativeCache",
     "SetView",
     "SimulationError",
+    "SweepCheckpoint",
+    "SweepOutcome",
     "SweepPointError",
+    "SweepTimeoutError",
     "TraceFormatError",
     "TraditionalLookup",
     "TwoLevelHierarchy",

@@ -39,4 +39,37 @@ class SweepPointError(ReproError):
     original error, and the failure is recorded in the run manifest
     (when one is being emitted). The original exception is chained as
     ``__cause__`` where the process boundary allows it.
+
+    ``failure`` carries the structured
+    :class:`~repro.resilience.policy.PointFailure` payload — point
+    signature, exception class, traceback text, attempt count, worker
+    pid — when the raising layer has one (``None`` otherwise).
+    """
+
+    def __init__(self, message: str, failure=None) -> None:
+        super().__init__(message)
+        self.failure = failure
+
+    def __reduce__(self):
+        """Preserve the ``failure`` payload across process boundaries."""
+        return (type(self), (self.args[0] if self.args else "", self.failure))
+
+
+class SweepTimeoutError(SweepPointError):
+    """A sweep point exceeded its per-point wall-clock timeout.
+
+    Raised (or recorded as a :class:`~repro.resilience.policy.PointFailure`
+    with ``kind="timeout"``) by the resilient sweep executor when a
+    worker does not finish a point within
+    :attr:`~repro.resilience.policy.RetryPolicy.timeout` seconds; the
+    hung worker pool is killed and re-created.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint could not be created, read, or matched.
+
+    Examples: a corrupt header line, a schema version from a newer
+    writer, or a ``config_hash`` recorded for a different workload than
+    the one being resumed.
     """

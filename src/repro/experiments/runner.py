@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -52,7 +53,7 @@ from repro.core.naive import NaiveLookup
 from repro.core.partial import PartialCompareLookup
 from repro.core.probes import ProbeAccumulator
 from repro.core.traditional import TraditionalLookup
-from repro.errors import SweepPointError
+from repro.errors import SimulationError, SweepPointError
 from repro.experiments.configs import (
     DEFAULT_TAG_BITS,
     CacheGeometry,
@@ -60,10 +61,18 @@ from repro.experiments.configs import (
     parse_geometry,
 )
 from repro.obs.log import log
-from repro.obs.manifest import RunManifest
+from repro.obs.manifest import RunManifest, config_hash, describe_workload
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.progress import ProgressReporter
 from repro.obs.spans import Tracer, get_tracer
+from repro.resilience.checkpoint import SweepCheckpoint, point_signature
+from repro.resilience.executor import ResilientPoolExecutor
+from repro.resilience.policy import (
+    FailurePolicy,
+    PointFailure,
+    RetryPolicy,
+    SweepOutcome,
+)
 from repro.trace.synthetic import AtumWorkload
 
 
@@ -109,6 +118,29 @@ class ConfigResult:
             if label != "traditional"
         }
         return min(candidates, key=lambda label: candidates[label].total)
+
+
+def config_result_to_dict(result: ConfigResult) -> Dict[str, Any]:
+    """A :class:`ConfigResult` as a plain JSON-representable dict.
+
+    The inverse of :func:`config_result_from_dict`; Python's JSON
+    float round-tripping is exact, so a result checkpointed through
+    this pair is bit-identical to the original.
+    """
+    return asdict(result)
+
+
+def config_result_from_dict(data: Dict[str, Any]) -> ConfigResult:
+    """Rebuild a :class:`ConfigResult` written by
+    :func:`config_result_to_dict` (e.g. from a sweep checkpoint)."""
+    fields = dict(data)
+    fields["l1"] = CacheGeometry(**fields["l1"])
+    fields["l2"] = CacheGeometry(**fields["l2"])
+    fields["schemes"] = {
+        label: SchemeResult(**scheme)
+        for label, scheme in fields["schemes"].items()
+    }
+    return ConfigResult(**fields)
 
 
 def _scheme_plan(
@@ -300,12 +332,68 @@ def _run_sweep_shard(payload):
         except SweepPointError:
             raise
         except Exception as exc:
+            failure = PointFailure(
+                key=index,
+                kind="raise",
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+                attempts=1,
+                worker_pid=os.getpid(),
+                point=asdict(point),
+                signature=point_signature(point),
+            )
             raise SweepPointError(
-                f"sweep point {point!r} failed: {type(exc).__name__}: {exc}"
+                f"sweep point {point!r} failed: {type(exc).__name__}: {exc}",
+                failure=failure,
             ) from exc
     if queue is not None:
         queue.put(("finished", shard_index, detail))
     return results, runner.metrics.snapshot()
+
+
+def _run_sweep_point(payload):
+    """Worker: run one sweep point in an isolated runner.
+
+    The resilient executor's unit of work — one point per task gives
+    per-point retries, timeouts, and checkpointing. Returns
+    ``(ConfigResult, metric_snapshot)``; the worker derives its miss
+    stream deterministically from the shared workload seed (or
+    inherits the parent's memoized copy on fork platforms), so
+    results are bit-identical to a serial run.
+    """
+    workload, use_engine, point = payload
+    runner = ExperimentRunner(
+        workload, use_engine=use_engine,
+        metrics=MetricsRegistry(), tracer=Tracer(),
+    )
+    result = runner.run(
+        point.l1,
+        point.l2,
+        point.associativity,
+        tag_bits=point.tag_bits,
+        transforms=point.transforms,
+        mru_list_lengths=point.mru_list_lengths,
+        extra_tag_bits=point.extra_tag_bits,
+        writeback_optimization=point.writeback_optimization,
+    )
+    return result, runner.metrics.snapshot()
+
+
+def _validate_point_result(key, value) -> None:
+    """Reject malformed worker payloads before they are accepted.
+
+    The resilient executor runs this on every "successful" value; a
+    worker that returns corrupt data (a fault injector, a partially
+    written pickle, a hijacked return path) is charged a failed
+    attempt instead of poisoning the sweep results.
+    """
+    result, snapshot = value
+    if not isinstance(result, ConfigResult) or not isinstance(snapshot, dict):
+        raise SimulationError(
+            f"worker returned a malformed result for point {key!r}: "
+            f"{type(result).__name__}"
+        )
 
 
 def _pool_context():
@@ -628,6 +716,12 @@ class ParallelSweepRunner:
     manifest when one is being emitted. Live per-shard progress (with
     ETA) can be watched on stderr via ``REPRO_PROGRESS=1``.
 
+    Passing ``failure_policy``, ``retry``, or ``checkpoint`` to
+    :meth:`run_points` switches to the fault-tolerant executor from
+    :mod:`repro.resilience`: bounded retries with deterministic
+    backoff, per-point wall-clock timeouts, worker-death recovery,
+    and crash-safe checkpoint/resume — see ``docs/resilience.md``.
+
     Args:
         workload: Shared workload; defaults to
             :func:`~repro.experiments.configs.default_workload`.
@@ -666,14 +760,69 @@ class ParallelSweepRunner:
         self.failures: List[Dict[str, Any]] = []
         self._points_log: List[Dict[str, Any]] = []
 
-    def run_points(self, points: Sequence[SweepPoint]) -> List[ConfigResult]:
+    def run_points(
+        self,
+        points: Sequence[SweepPoint],
+        failure_policy: "FailurePolicy | str | None" = None,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint: "SweepCheckpoint | str | None" = None,
+    ) -> "List[ConfigResult] | SweepOutcome":
         """Run every point, in parallel, preserving input order.
 
+        With no resilience options (the default), this is the legacy
+        fast path: points are batched by L1 geometry into shards and
+        the first worker failure raises — now with the structured
+        :class:`~repro.resilience.policy.PointFailure` attached to the
+        :class:`~repro.errors.SweepPointError`.
+
+        Passing any of ``failure_policy``, ``retry``, or
+        ``checkpoint`` selects the fault-tolerant path instead: each
+        point becomes one task on a
+        :class:`~repro.resilience.executor.ResilientPoolExecutor`
+        (worker-death recovery, per-point timeouts, bounded retries
+        with deterministic backoff), and the call returns a
+        :class:`~repro.resilience.policy.SweepOutcome` carrying every
+        completed :class:`ConfigResult` plus structured failure
+        records — results stay bit-identical to the serial runner.
+
+        Args:
+            points: The sweep points, in output order.
+            failure_policy: ``"fail_fast"`` | ``"collect"`` |
+                ``"retry_then_collect"`` (or the enum). Defaults to
+                ``retry_then_collect`` when another resilience option
+                is given.
+            retry: Backoff/timeout parameters; defaults to
+                :class:`~repro.resilience.policy.RetryPolicy`'s.
+            checkpoint: A
+                :class:`~repro.resilience.checkpoint.SweepCheckpoint`
+                or a path to one. Completed points found in it are
+                restored instead of re-run, and every newly completed
+                point is durably appended — kill the process at any
+                moment and a rerun with the same checkpoint finishes
+                only the remainder.
+
         Raises:
-            SweepPointError: When any point fails in a worker; the
-                failure is recorded (and, with ``obs_dir`` set, the
-                manifest written) before re-raising.
+            SweepPointError: When a point fails under ``fail_fast``
+                (or on the legacy path); the failure is recorded (and,
+                with ``obs_dir`` set, the manifest written) before
+                re-raising.
+            CheckpointError: When ``checkpoint`` exists but was
+                written by a different sweep configuration.
         """
+        resilient = (
+            failure_policy is not None
+            or retry is not None
+            or checkpoint is not None
+        )
+        if resilient:
+            policy = FailurePolicy.coerce(
+                failure_policy
+                if failure_policy is not None
+                else FailurePolicy.RETRY_THEN_COLLECT
+            )
+            return self._run_points_resilient(
+                points, policy, retry or RetryPolicy(), checkpoint
+            )
         if not points:
             return []
         by_l1: Dict[str, List[Tuple[int, SweepPoint]]] = {}
@@ -711,7 +860,10 @@ class ParallelSweepRunner:
                 else:
                     outputs = self._run_pool(shards, processes, reporter)
         except SweepPointError as exc:
-            self.failures.append({"error": str(exc)})
+            if exc.failure is not None:
+                self.failures.append(exc.failure.to_dict())
+            else:
+                self.failures.append({"error": str(exc)})
             log.error(str(exc))
             if self.obs_dir is not None:
                 self.write_obs()
@@ -726,6 +878,125 @@ class ParallelSweepRunner:
             self.write_obs()
         return results
 
+    def sweep_config_hash(self) -> str:
+        """Content address of this sweep's identity (checkpoint key).
+
+        Covers the workload identity and the instrumentation path —
+        everything that must match for checkpointed results to be
+        interchangeable with fresh ones. The point list is *not*
+        included: points are keyed individually by
+        :func:`~repro.resilience.checkpoint.point_signature`, so a
+        resumed sweep may reorder or extend them.
+        """
+        return config_hash({
+            "workload": describe_workload(self.workload),
+            "use_engine": self.use_engine,
+        })
+
+    def _run_points_resilient(
+        self,
+        points: Sequence[SweepPoint],
+        policy: FailurePolicy,
+        retry: RetryPolicy,
+        checkpoint: "SweepCheckpoint | str | None",
+    ) -> SweepOutcome:
+        """The fault-tolerant :meth:`run_points` path (one task/point)."""
+        outcome = SweepOutcome(results=[None] * len(points))
+        if not points:
+            return outcome
+        signatures = [point_signature(point) for point in points]
+        if checkpoint is not None and not isinstance(
+            checkpoint, SweepCheckpoint
+        ):
+            checkpoint = SweepCheckpoint(
+                checkpoint, config_hash=self.sweep_config_hash()
+            )
+        if checkpoint is not None:
+            restored = checkpoint.load()
+            for index, signature in enumerate(signatures):
+                if signature in restored:
+                    outcome.results[index] = config_result_from_dict(
+                        restored[signature]
+                    )
+                    outcome.resumed += 1
+            if outcome.resumed:
+                self.metrics.counter("resilience.checkpoint_resumed").inc(
+                    outcome.resumed
+                )
+                log.debug(
+                    "sweep.resume", restored=outcome.resumed,
+                    remaining=len(points) - outcome.resumed,
+                )
+        tasks = [
+            (index, (self.workload, self.use_engine, point))
+            for index, point in enumerate(points)
+            if outcome.results[index] is None
+        ]
+        self._points_log.extend(asdict(point) for point in points)
+        reporter = ProgressReporter(
+            total=len(points), label="sweep", enabled=self.progress
+        )
+
+        def on_result(index, value):
+            result, snapshot = value
+            outcome.results[index] = result
+            self.metrics.merge_snapshot(snapshot)
+            if checkpoint is not None:
+                checkpoint.record(
+                    signatures[index], config_result_to_dict(result)
+                )
+            reporter.finished(index, f"point {points[index].l2}")
+
+        def on_failure(failure):
+            failure.point = asdict(points[failure.key])
+            failure.signature = signatures[failure.key]
+            self.failures.append(failure.to_dict())
+
+        executor = ResilientPoolExecutor(
+            _run_sweep_point,
+            processes=self.processes,
+            retry=retry,
+            failure_policy=policy,
+            mp_context=_pool_context(),
+            metrics=self.metrics,
+            on_submit=lambda index, attempt: reporter.started(
+                index, f"point {points[index].l2}, attempt {attempt}"
+            ),
+            on_result=on_result,
+            on_failure=on_failure,
+            validator=_validate_point_result,
+        )
+        log.debug(
+            "sweep.start_resilient", points=len(points), tasks=len(tasks),
+            policy=policy.value, timeout=retry.timeout,
+        )
+        try:
+            with self.tracer.span(
+                "sweep",
+                points=len(points), tasks=len(tasks), policy=policy.value,
+            ):
+                report = executor.run(tasks)
+        except SweepPointError:
+            # fail_fast: the failure is already in self.failures via
+            # the on_failure callback.
+            if self.obs_dir is not None:
+                self.write_obs()
+            raise
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+        outcome.failures = report.failures
+        outcome.retries = report.retries
+        outcome.pool_restarts = report.pool_restarts
+        outcome.timeouts = report.timeouts
+        log.debug(
+            "sweep.done", points=len(points),
+            completed=outcome.completed(), failed=len(outcome.failures),
+        )
+        if self.obs_dir is not None:
+            self.write_obs()
+        return outcome
+
     def _run_pool(self, shards, processes: int, reporter: ProgressReporter):
         """Map the shards over a worker pool with live progress.
 
@@ -734,7 +1005,10 @@ class ParallelSweepRunner:
         :data:`_PROGRESS_QUEUE` immediately before the pool forks (so
         workers inherit it) and drained by a daemon thread into
         ``reporter``; the sentinel is enqueued and the drainer joined
-        even when a worker raises.
+        even when a worker raises. If the drainer is still alive after
+        the join timeout, a structured warning is logged and the queue
+        is closed anyway so the wedged daemon thread cannot hold its
+        pipe open for the rest of the process.
         """
         global _PROGRESS_QUEUE
         context = _pool_context()
@@ -752,6 +1026,17 @@ class ParallelSweepRunner:
             if queue is not None:
                 queue.put(None)
                 drainer.join(timeout=5)
+                if drainer.is_alive():
+                    # The daemon drainer is wedged (a slow stream or a
+                    # worker that died mid-put): it must not keep the
+                    # queue's pipe alive for the rest of the process.
+                    log.warning(
+                        "sweep.progress_drainer_stuck",
+                        joined_timeout_s=5,
+                        finished=reporter.finished_count,
+                        total=reporter.total,
+                    )
+                queue.close()
 
     def write_obs(self, obs_dir=None) -> Optional[RunManifest]:
         """Write the sweep's provenance manifest and span trace.

@@ -1,0 +1,210 @@
+"""``repro-sweep``: fault-tolerant parameter sweeps from the command line.
+
+Runs the cartesian product of the requested L1 geometries, L2
+geometries, and associativities through the resilient
+:class:`~repro.experiments.runner.ParallelSweepRunner` path::
+
+    repro-sweep --l1 4K-16 --l2 64K-32,128K-32 --assoc 2,4
+    repro-sweep ... --checkpoint sweep.ckpt            # record progress
+    repro-sweep ... --checkpoint sweep.ckpt --resume   # finish a killed run
+    repro-sweep ... --failure-policy collect --timeout 600 --max-attempts 5
+
+With ``--checkpoint`` every completed point is durably appended to a
+crash-safe JSONL file; a killed run restarted with ``--resume``
+re-runs only the unfinished points and its merged results are
+bit-identical to an uninterrupted sweep. Failures are reported per
+point (and recorded in the ``--obs-dir`` manifest) instead of
+aborting the whole sweep.
+
+Exit codes: 0 — every point completed; 3 — the sweep finished but
+some points failed (partial results were still written); 2 — bad
+usage (including refusing to overwrite an existing checkpoint without
+``--resume``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments.configs import default_workload
+from repro.experiments.runner import (
+    ParallelSweepRunner,
+    SweepPoint,
+    config_result_to_dict,
+)
+from repro.obs.log import log
+from repro.resilience.policy import RetryPolicy
+
+#: Exit code when the sweep completed with point failures.
+EXIT_PARTIAL = 3
+
+
+def _build_points(args) -> List[SweepPoint]:
+    """The cartesian product of the requested sweep axes."""
+    return [
+        SweepPoint(
+            l1=l1,
+            l2=l2,
+            associativity=assoc,
+            tag_bits=args.tag_bits,
+            transforms=tuple(args.transforms.split(",")),
+        )
+        for l1 in args.l1.split(",")
+        for l2 in args.l2.split(",")
+        for assoc in (int(a) for a in args.assoc.split(","))
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: run the sweep, print a summary, emit results."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run a fault-tolerant L1/L2/associativity sweep with "
+        "retries, per-point timeouts, and checkpoint/resume.",
+    )
+    parser.add_argument(
+        "--l1", default="4K-16", help="comma-separated L1 geometry labels"
+    )
+    parser.add_argument(
+        "--l2", default="64K-32", help="comma-separated L2 geometry labels"
+    )
+    parser.add_argument(
+        "--assoc", default="2,4", help="comma-separated associativities"
+    )
+    parser.add_argument("--tag-bits", type=int, default=16)
+    parser.add_argument(
+        "--transforms", default="xor",
+        help="comma-separated transform names (none,xor,improved,swap)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=1989)
+    parser.add_argument("--processes", type=int, default=None)
+    parser.add_argument(
+        "--failure-policy", default="retry_then_collect",
+        choices=["fail_fast", "collect", "retry_then_collect"],
+        help="what to do when a point fails (default: retry_then_collect)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per point under retry_then_collect",
+    )
+    parser.add_argument(
+        "--retry-base", type=float, default=0.5,
+        help="base backoff delay in seconds",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point wall-clock timeout in seconds",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="crash-safe JSONL checkpoint recording each completed point",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="restore completed points from --checkpoint before running",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write per-point results and failures as JSON",
+    )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help="write the provenance manifest and JSONL span trace here",
+    )
+    args = parser.parse_args(argv)
+
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
+    if (
+        args.checkpoint is not None
+        and not args.resume
+        and Path(args.checkpoint).exists()
+    ):
+        parser.error(
+            f"checkpoint {args.checkpoint} already exists; pass --resume to "
+            "finish that sweep or delete the file to start over"
+        )
+
+    points = _build_points(args)
+    runner = ParallelSweepRunner(
+        default_workload(scale=args.scale, seed=args.seed),
+        processes=args.processes,
+        obs_dir=args.obs_dir,
+    )
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay=args.retry_base,
+        timeout=args.timeout,
+    )
+    outcome = runner.run_points(
+        points,
+        failure_policy=args.failure_policy,
+        retry=retry,
+        checkpoint=args.checkpoint,
+    )
+
+    for point, result in zip(points, outcome.results):
+        name = f"{point.l1} / {point.l2} {point.associativity}-way"
+        if result is None:
+            log.info(f"{name}: FAILED")
+            continue
+        totals = ", ".join(
+            f"{label}={scheme.total:.4f}"
+            for label, scheme in sorted(result.schemes.items())
+            if "/" not in label
+        )
+        log.info(f"{name}: {totals}")
+    log.info(
+        f"{outcome.completed()}/{len(points)} points completed"
+        + (f" ({outcome.resumed} restored from checkpoint)"
+           if outcome.resumed else "")
+        + (f", {outcome.retries} retries" if outcome.retries else "")
+        + (f", {len(outcome.failures)} failed" if outcome.failures else "")
+    )
+    for failure in outcome.failures:
+        log.error(failure.to_dict()["error"])
+
+    if args.out is not None:
+        payload = {
+            "points": [
+                {
+                    "l1": point.l1,
+                    "l2": point.l2,
+                    "associativity": point.associativity,
+                    "result": (
+                        config_result_to_dict(result)
+                        if result is not None
+                        else None
+                    ),
+                }
+                for point, result in zip(points, outcome.results)
+            ],
+            "failures": [f.to_dict() for f in outcome.failures],
+            "resumed": outcome.resumed,
+            "retries": outcome.retries,
+            "pool_restarts": outcome.pool_restarts,
+            "timeouts": outcome.timeouts,
+        }
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    return EXIT_PARTIAL if outcome.failures else 0
+
+
+def run() -> None:
+    """Console-script shim mapping :class:`ReproError` to exit code 2."""
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        log.error(str(exc))
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    run()

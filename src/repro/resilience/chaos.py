@@ -1,0 +1,285 @@
+"""``repro-chaos``: prove the sweep-resilience guarantees end to end.
+
+Each scenario runs a real (small) parameter sweep on a real worker
+pool with a deterministic fault injected, then asserts the guarantee
+the resilience layer makes about it:
+
+- ``crash``   — a transient worker exception is retried to success,
+  and a *persistent* one is collected without disturbing the other
+  points: their results stay bit-identical to a fault-free sweep and
+  the failure lands in the run manifest;
+- ``exit``    — a worker killed with ``exit(1)`` breaks the pool; the
+  pool is re-created, in-flight points are re-queued, and the sweep
+  still completes bit-identically;
+- ``hang``    — a hung worker is reaped by the per-point timeout and
+  the retry completes the sweep;
+- ``corrupt`` — a corrupted result is *detectable*: it differs from
+  the fault-free run while every untouched point matches exactly (the
+  bit-identical discipline the regression gates rely on);
+- ``resume``  — a sweep interrupted after N points finishes from its
+  checkpoint running only the remainder, with merged results
+  bit-identical to an uninterrupted run.
+
+Exit code 0 means every requested scenario held; 1 names the ones
+that did not. With ``--obs-dir`` the persistent-crash scenario writes
+its provenance manifest there, so CI can assert that degraded runs
+are visibly degraded (``failures`` is non-empty).
+
+Usage::
+
+    repro-chaos                       # all scenarios, ~tens of seconds
+    repro-chaos --scenarios crash,resume --obs-dir chaos-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.runner import (
+    ParallelSweepRunner,
+    SweepPoint,
+    config_result_to_dict,
+)
+from repro.obs.log import log
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.policy import RetryPolicy
+from repro.trace.synthetic import AtumWorkload
+
+#: The small sweep every scenario runs (two L1 streams, four points).
+POINTS = (
+    SweepPoint("4K-16", "64K-32", 2),
+    SweepPoint("4K-16", "64K-32", 4),
+    SweepPoint("8K-16", "64K-32", 4),
+    SweepPoint("4K-16", "128K-32", 4),
+)
+
+
+class ChaosHarness:
+    """Shared state for the scenarios: workload, baseline, obs sink.
+
+    Args:
+        processes: Worker-pool size for every scenario sweep.
+        obs_dir: When set, the persistent-crash scenario writes its
+            run manifest (with failure records) into this directory.
+    """
+
+    def __init__(
+        self, processes: int = 2, obs_dir: Optional[str] = None
+    ) -> None:
+        self.processes = processes
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
+        self.workload = AtumWorkload(
+            segments=2, references_per_segment=2_000, seed=7
+        )
+        self._baseline: Optional[List[dict]] = None
+
+    def baseline(self) -> List[dict]:
+        """Fault-free sweep results (as dicts), computed once."""
+        if self._baseline is None:
+            runner = ParallelSweepRunner(
+                self.workload,
+                processes=self.processes,
+                metrics=MetricsRegistry(),
+            )
+            self._baseline = [
+                config_result_to_dict(result)
+                for result in runner.run_points(list(POINTS))
+            ]
+        return self._baseline
+
+    def sweep(self, plan, obs_dir=None, **kwargs):
+        """One resilient sweep under ``plan`` (None = no faults)."""
+        kwargs.setdefault("failure_policy", "retry_then_collect")
+        kwargs.setdefault(
+            "retry", RetryPolicy(max_attempts=3, base_delay=0.05)
+        )
+        runner = ParallelSweepRunner(
+            self.workload,
+            processes=self.processes,
+            metrics=MetricsRegistry(),
+            obs_dir=obs_dir,
+        )
+        if plan is not None:
+            faults.activate(plan)
+        try:
+            return runner.run_points(list(POINTS), **kwargs)
+        finally:
+            faults.deactivate()
+
+    def matches_baseline(self, outcome, skip=()) -> bool:
+        """Whether every non-skipped result is bit-identical to baseline."""
+        for index, expected in enumerate(self.baseline()):
+            if index in skip:
+                continue
+            result = outcome.results[index]
+            if result is None or config_result_to_dict(result) != expected:
+                return False
+        return True
+
+
+def scenario_crash(harness: ChaosHarness) -> bool:
+    """Transient raise retried to success; persistent raise collected."""
+    transient = harness.sweep(
+        FaultPlan([FaultSpec("raise", at=1, attempts=frozenset({1}))])
+    )
+    if not (
+        transient.ok
+        and transient.retries >= 1
+        and harness.matches_baseline(transient)
+    ):
+        return False
+    persistent = harness.sweep(
+        FaultPlan([FaultSpec("raise", at=1)]), obs_dir=harness.obs_dir
+    )
+    if persistent.ok or persistent.results[1] is not None:
+        return False
+    if not harness.matches_baseline(persistent, skip={1}):
+        return False
+    failure = persistent.failures[0]
+    if failure.error_type != "InjectedFaultError" or not failure.traceback:
+        return False
+    if harness.obs_dir is not None:
+        manifest = RunManifest.load(harness.obs_dir / "manifest.json")
+        if not manifest.failures:
+            return False
+    return True
+
+
+def scenario_exit(harness: ChaosHarness) -> bool:
+    """Worker death breaks the pool; recovery loses no other point."""
+    outcome = harness.sweep(
+        FaultPlan([FaultSpec("exit", at=2, attempts=frozenset({1}))])
+    )
+    return (
+        outcome.ok
+        and outcome.pool_restarts >= 1
+        and harness.matches_baseline(outcome)
+    )
+
+
+def scenario_hang(harness: ChaosHarness) -> bool:
+    """A hung worker is reaped by the timeout and retried to success."""
+    outcome = harness.sweep(
+        FaultPlan(
+            [FaultSpec("hang", at=0, attempts=frozenset({1}), seconds=120)]
+        ),
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05, timeout=5.0),
+    )
+    return (
+        outcome.ok
+        and outcome.timeouts >= 1
+        and harness.matches_baseline(outcome)
+    )
+
+
+def scenario_corrupt(harness: ChaosHarness) -> bool:
+    """A corrupted worker payload is rejected, not merged.
+
+    The runner's result validator must convert the corrupt value into
+    a structured failure (under ``collect``) or retry it to a clean
+    result (under ``retry_then_collect`` with a transient fault) —
+    either way, nothing corrupt reaches the merged results.
+    """
+    collected = harness.sweep(
+        FaultPlan([FaultSpec("corrupt", at=0)]),
+        failure_policy="collect",
+    )
+    if collected.results[0] is not None or not collected.failures:
+        return False  # the corrupt payload was merged or went unnoticed
+    if not harness.matches_baseline(collected, skip={0}):
+        return False
+    retried = harness.sweep(
+        FaultPlan([FaultSpec("corrupt", at=0, attempts=frozenset({1}))])
+    )
+    return (
+        retried.ok
+        and retried.retries >= 1
+        and harness.matches_baseline(retried)
+    )
+
+
+def scenario_resume(harness: ChaosHarness) -> bool:
+    """A killed sweep finishes from its checkpoint, bit-identically."""
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = str(Path(tmp) / "sweep.ckpt")
+        interrupted = harness.sweep(
+            FaultPlan([FaultSpec("raise", at=3)]),
+            failure_policy="collect",
+            checkpoint=checkpoint,
+        )
+        if interrupted.completed() != len(POINTS) - 1:
+            return False
+        resumed = harness.sweep(
+            None, failure_policy="collect", checkpoint=checkpoint
+        )
+        return (
+            resumed.ok
+            and resumed.resumed == len(POINTS) - 1
+            and harness.matches_baseline(resumed)
+        )
+
+
+#: Scenario registry, in execution order.
+SCENARIOS: Dict[str, Callable[[ChaosHarness], bool]] = {
+    "crash": scenario_crash,
+    "exit": scenario_exit,
+    "hang": scenario_hang,
+    "corrupt": scenario_corrupt,
+    "resume": scenario_resume,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: run the scenarios and report PASS/FAIL for each."""
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Fault-injection harness proving the sweep resilience "
+        "guarantees (retries, timeouts, pool recovery, checkpoint/resume) "
+        "end to end.",
+    )
+    parser.add_argument(
+        "--scenarios", default=",".join(SCENARIOS),
+        help=f"comma-separated subset of: {', '.join(SCENARIOS)}",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=2, help="worker pool size"
+    )
+    parser.add_argument(
+        "--obs-dir", metavar="DIR", default=None,
+        help="write the crash scenario's manifest (with failure records) "
+        "here",
+    )
+    args = parser.parse_args(argv)
+
+    requested = [name for name in args.scenarios.split(",") if name]
+    unknown = [name for name in requested if name not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenarios: {', '.join(unknown)}")
+
+    harness = ChaosHarness(processes=args.processes, obs_dir=args.obs_dir)
+    log.info(
+        f"chaos: {len(requested)} scenario(s) over {len(POINTS)} sweep "
+        f"points, {args.processes} workers"
+    )
+    failed = []
+    for name in requested:
+        ok = SCENARIOS[name](harness)
+        log.info(f"chaos.{name}: {'PASS' if ok else 'FAIL'}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        log.error(f"chaos: guarantees violated: {', '.join(failed)}")
+        return 1
+    log.info("chaos: all guarantees held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Crash-safe sweep checkpoints: finish a killed sweep, don't redo it.
+
+A :class:`SweepCheckpoint` is an append-only JSONL file recording each
+completed sweep point as it finishes. A killed run — OOM, SIGKILL,
+power loss — restarts with ``--resume`` and re-runs *only* the points
+missing from the file; restored results are bit-identical because the
+stored JSON round-trips every counter and float exactly.
+
+Durability discipline:
+
+- the header and every result record are ``flush`` + ``fsync``'d, so
+  a record is either fully on disk or not in the file;
+- a torn final line (the crash happened mid-write) is detected on
+  load and dropped by rewriting the file via write-temp-then-rename —
+  the standard atomic-replace idiom — before appending resumes;
+- the header pins a ``config_hash`` of the sweep's workload identity,
+  so resuming against the wrong workload raises
+  :class:`~repro.errors.CheckpointError` instead of silently merging
+  incompatible results.
+
+Records are keyed by :func:`point_signature` — a content address of
+the point's full configuration — so reordering or extending the point
+list between runs resumes correctly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, Optional
+
+from repro.errors import CheckpointError
+from repro.obs.manifest import config_hash
+
+#: Version of the checkpoint JSONL layout (bump on breaking changes).
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def point_signature(point: Any) -> str:
+    """Content address of one sweep point's configuration (16 hex chars).
+
+    Accepts a dataclass (e.g.
+    :class:`~repro.experiments.runner.SweepPoint`) or any
+    JSON-representable mapping; equivalent configurations hash
+    identically regardless of field order.
+    """
+    data = asdict(point) if is_dataclass(point) else point
+    return config_hash(data)
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed sweep-point results.
+
+    Args:
+        path: Checkpoint file location (parents created on first
+            write).
+        config_hash: Expected sweep identity. When given, it is
+            written into new headers and verified against existing
+            ones — a mismatch raises
+            :class:`~repro.errors.CheckpointError`. ``None`` skips the
+            check (read-only inspection).
+
+    Typical lifecycle::
+
+        checkpoint = SweepCheckpoint("sweep.ckpt", config_hash=h)
+        done = checkpoint.load()          # {} on a fresh run
+        ... skip points whose signature is in ``done`` ...
+        checkpoint.record(signature, result_dict)   # per finished point
+        checkpoint.close()
+    """
+
+    def __init__(self, path, config_hash: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.config_hash = config_hash
+        self._handle: Optional[IO[str]] = None
+        self._results: Dict[str, Any] = {}
+
+    @property
+    def results(self) -> Dict[str, Any]:
+        """Results loaded or recorded so far, keyed by point signature."""
+        return dict(self._results)
+
+    def exists(self) -> bool:
+        """Whether the checkpoint file is already on disk."""
+        return self.path.exists()
+
+    def load(self) -> Dict[str, Any]:
+        """Read every durable record; returns ``{signature: result}``.
+
+        Tolerates exactly one torn trailing line (a crash mid-append):
+        the file is compacted — rewritten whole to a temp file and
+        atomically renamed over the original — so the garbage never
+        accumulates. Any other malformed content, a missing or foreign
+        header, or a ``config_hash`` mismatch raises
+        :class:`~repro.errors.CheckpointError`.
+        """
+        self._results = {}
+        if not self.path.exists():
+            return {}
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        lines = raw.split("\n")
+        torn = False
+        records = []
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1 or (
+                    index == len(lines) - 2 and not lines[-1].strip()
+                ):
+                    torn = True
+                    break
+                raise CheckpointError(
+                    f"{self.path}: corrupt record on line {index + 1}"
+                ) from None
+        if not records or records[0].get("kind") != "header":
+            raise CheckpointError(
+                f"{self.path}: not a sweep checkpoint (missing header)"
+            )
+        header = records[0]
+        if header.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{self.path}: unsupported checkpoint schema "
+                f"{header.get('schema')!r}"
+            )
+        if (
+            self.config_hash is not None
+            and header.get("config_hash") != self.config_hash
+        ):
+            raise CheckpointError(
+                f"{self.path}: checkpoint was written for config "
+                f"{header.get('config_hash')!r}, not {self.config_hash!r} — "
+                "refusing to resume a different sweep"
+            )
+        for record in records[1:]:
+            if record.get("kind") != "result":
+                raise CheckpointError(
+                    f"{self.path}: unexpected record kind "
+                    f"{record.get('kind')!r}"
+                )
+            self._results[record["signature"]] = record["result"]
+        if torn:
+            self._compact(records)
+        return dict(self._results)
+
+    def record(self, signature: str, result: Any) -> None:
+        """Durably append one completed point's result.
+
+        ``result`` must be JSON-representable. The line is flushed and
+        fsync'd before returning, so a crash immediately after loses
+        nothing.
+        """
+        handle = self._ensure_open()
+        line = json.dumps(
+            {"kind": "result", "signature": signature, "result": result},
+            sort_keys=True,
+        )
+        try:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot append to checkpoint {self.path}: {exc}"
+            ) from exc
+        self._results[signature] = result
+
+    def close(self) -> None:
+        """Close the append handle (records already durable)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        """Context manager entry; loads existing records."""
+        self.load()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context manager exit; closes the append handle."""
+        self.close()
+
+    def _header(self) -> Dict[str, Any]:
+        """The header record for a fresh checkpoint file."""
+        return {
+            "kind": "header",
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "config_hash": self.config_hash,
+        }
+
+    def _ensure_open(self) -> IO[str]:
+        """Open (creating with a durable header if needed) for append."""
+        if self._handle is not None:
+            return self._handle
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self.path.exists():
+                self._write_atomically([self._header()])
+            self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open checkpoint {self.path}: {exc}"
+            ) from exc
+        return self._handle
+
+    def _write_atomically(self, records) -> None:
+        """Write ``records`` as JSONL via write-temp-then-rename."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def _compact(self, records) -> None:
+        """Drop a torn tail by atomically rewriting the parsed records."""
+        self.close()
+        self._write_atomically(records)
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepCheckpoint(path={str(self.path)!r}, "
+            f"records={len(self._results)})"
+        )

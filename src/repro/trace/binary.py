@@ -65,31 +65,80 @@ def write_binary(trace: Iterable[Reference], path: PathOrFile) -> int:
     return written
 
 
-def read_binary(path: PathOrFile) -> Iterator[Reference]:
+def read_binary(
+    path: PathOrFile, errors: str = "raise"
+) -> Iterator[Reference]:
     """Lazily parse a binary trace from ``path``.
 
+    Args:
+        path: File path (gzip if it ends in ``.gz``) or open binary
+            handle.
+        errors: ``"raise"`` (default) aborts on the first bad record;
+            ``"skip"`` drops records with an unknown kind byte and
+            keeps going — each skip increments the
+            ``trace.binary.skipped_records`` counter in the
+            process-global metrics registry. A bad magic header, a
+            truncated record, or an unreadable stream always raises:
+            once framing is lost there is no next record to skip to.
+
     Raises:
-        TraceFormatError: On a bad magic header or a truncated record.
+        TraceFormatError: With the file byte offset of the offending
+            record — on a bad magic header, a truncated or
+            unknown-kind record, or an unreadable (e.g. truncated
+            gzip) stream.
     """
+    if errors not in ("raise", "skip"):
+        raise TraceFormatError(
+            f"errors mode must be 'raise' or 'skip', got {errors!r}"
+        )
+    from repro.obs.log import log
+    from repro.obs.metrics import get_metrics
+
     handle, close = _open_binary(path, "r")
+    skipped = get_metrics().counter("trace.binary.skipped_records")
     try:
-        magic = handle.read(len(MAGIC))
+        try:
+            magic = handle.read(len(MAGIC))
+        except (OSError, EOFError) as exc:
+            raise TraceFormatError(
+                f"unreadable binary trace: {type(exc).__name__}: {exc}"
+            ) from exc
         if magic != MAGIC:
             raise TraceFormatError(
-                f"bad magic {magic!r}; not a repro binary trace"
+                f"bad magic {magic!r} at offset 0; not a repro binary trace"
             )
+        index = 0
         while True:
-            chunk = handle.read(_RECORD.size)
+            offset = len(MAGIC) + index * _RECORD.size
+            try:
+                chunk = handle.read(_RECORD.size)
+            except (OSError, EOFError) as exc:
+                raise TraceFormatError(
+                    f"unreadable binary trace at offset {offset}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
             if not chunk:
                 return
             if len(chunk) != _RECORD.size:
                 raise TraceFormatError(
-                    f"truncated record: {len(chunk)} of {_RECORD.size} bytes"
+                    f"truncated record at offset {offset}: "
+                    f"{len(chunk)} of {_RECORD.size} bytes"
                 )
+            index += 1
             code, address = _RECORD.unpack(chunk)
             kind = _CODE_TO_KIND.get(code)
             if kind is None:
-                raise TraceFormatError(f"unknown record kind {code}")
+                if errors == "skip":
+                    skipped.inc()
+                    log.debug(
+                        "trace.binary.skip",
+                        reason=f"unknown record kind {code} at offset "
+                        f"{offset}",
+                    )
+                    continue
+                raise TraceFormatError(
+                    f"unknown record kind {code} at offset {offset}"
+                )
             if kind is AccessKind.FLUSH:
                 yield FLUSH
             else:

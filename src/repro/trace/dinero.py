@@ -60,40 +60,90 @@ def write_din(trace: Iterable[Reference], path: PathOrFile) -> int:
     return written
 
 
-def read_din(path: PathOrFile) -> Iterator[Reference]:
-    """Lazily parse a ``din`` trace from ``path``.
+def _parse_line(line_number: int, stripped: str) -> "Reference | None":
+    """Parse one non-comment ``din`` line; ``None`` is a flush marker.
 
     Raises:
-        TraceFormatError: On malformed lines, unknown access types, or
-            negative addresses.
+        TraceFormatError: Naming the line number, on a malformed
+            record, unknown access type, or negative address.
     """
+    parts = stripped.split()
+    if len(parts) < 2:
+        raise TraceFormatError(
+            f"line {line_number}: expected '<type> <hex-addr>', "
+            f"got {stripped!r}"
+        )
+    kind = _DIGIT_TO_KIND.get(parts[0])
+    if kind is None:
+        raise TraceFormatError(
+            f"line {line_number}: unknown access type {parts[0]!r}"
+        )
+    if kind is AccessKind.FLUSH:
+        return None
+    try:
+        address = int(parts[1], 16)
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_number}: bad address {parts[1]!r}"
+        ) from None
+    if address < 0:
+        raise TraceFormatError(
+            f"line {line_number}: negative address {parts[1]!r}"
+        )
+    return Reference(kind, address)
+
+
+def read_din(path: PathOrFile, errors: str = "raise") -> Iterator[Reference]:
+    """Lazily parse a ``din`` trace from ``path``.
+
+    Args:
+        path: File path (gzip if it ends in ``.gz``) or open text
+            handle.
+        errors: ``"raise"`` (default) aborts on the first bad record;
+            ``"skip"`` drops bad records and keeps going — each skip
+            increments the ``trace.din.skipped_records`` counter in
+            the process-global metrics registry and logs a debug
+            event, so defensive ingestion stays observable.
+
+    Raises:
+        TraceFormatError: With the offending line number — on
+            malformed lines, unknown access types, negative addresses,
+            or an unreadable (e.g. truncated gzip) stream. Stream-level
+            corruption is never skippable.
+    """
+    if errors not in ("raise", "skip"):
+        raise TraceFormatError(
+            f"errors mode must be 'raise' or 'skip', got {errors!r}"
+        )
+    from repro.obs.log import log
+    from repro.obs.metrics import get_metrics
+
     handle = _open_text(path, "r")
     close = isinstance(path, (str, Path))
+    skipped = get_metrics().counter("trace.din.skipped_records")
     try:
-        for line_number, line in enumerate(handle, start=1):
+        lines = enumerate(handle, start=1)
+        while True:
+            try:
+                line_number, line = next(lines)
+            except StopIteration:
+                return
+            except (OSError, EOFError, UnicodeDecodeError) as exc:
+                raise TraceFormatError(
+                    f"unreadable din trace: {type(exc).__name__}: {exc}"
+                ) from exc
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
-            parts = stripped.split()
-            if len(parts) < 2:
-                raise TraceFormatError(
-                    f"line {line_number}: expected '<type> <hex-addr>', got {stripped!r}"
-                )
-            kind = _DIGIT_TO_KIND.get(parts[0])
-            if kind is None:
-                raise TraceFormatError(
-                    f"line {line_number}: unknown access type {parts[0]!r}"
-                )
-            if kind is AccessKind.FLUSH:
-                yield FLUSH
-                continue
             try:
-                address = int(parts[1], 16)
-            except ValueError:
-                raise TraceFormatError(
-                    f"line {line_number}: bad address {parts[1]!r}"
-                ) from None
-            yield Reference(kind, address)
+                reference = _parse_line(line_number, stripped)
+            except TraceFormatError as exc:
+                if errors == "raise":
+                    raise
+                skipped.inc()
+                log.debug("trace.din.skip", reason=str(exc))
+                continue
+            yield FLUSH if reference is None else reference
     finally:
         if close:
             handle.close()

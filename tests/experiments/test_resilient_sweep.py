@@ -1,0 +1,188 @@
+"""Fault-tolerant sweep path: bit-identical results, resume, manifests."""
+
+import pytest
+
+from repro.errors import CheckpointError, SweepPointError
+from repro.experiments.runner import (
+    ParallelSweepRunner,
+    SweepPoint,
+    config_result_from_dict,
+    config_result_to_dict,
+)
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import faults
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.policy import RetryPolicy, SweepOutcome
+
+from .test_parallel_runner import assert_results_identical
+
+from repro.trace.synthetic import AtumWorkload
+
+
+def tiny_workload():
+    return AtumWorkload(segments=2, references_per_segment=1_500, seed=11)
+
+
+POINTS = [
+    SweepPoint("4K-16", "64K-32", 2),
+    SweepPoint("4K-16", "64K-32", 4),
+    SweepPoint("8K-16", "64K-32", 4),
+]
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def make_runner(**kwargs):
+    kwargs.setdefault("workload", tiny_workload())
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return ParallelSweepRunner(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    results = make_runner().run_points(POINTS)
+    return [config_result_to_dict(result) for result in results]
+
+
+def assert_matches_baseline(outcome, baseline, skip=()):
+    for index, expected in enumerate(baseline):
+        if index in skip:
+            continue
+        assert config_result_to_dict(outcome.results[index]) == expected, (
+            f"point {index} diverged from the fault-free run"
+        )
+
+
+class TestResilientPathEquivalence:
+    def test_returns_sweep_outcome(self, baseline):
+        outcome = make_runner().run_points(POINTS, failure_policy="collect")
+        assert isinstance(outcome, SweepOutcome)
+        assert outcome.ok and outcome.completed() == len(POINTS)
+        assert_matches_baseline(outcome, baseline)
+
+    def test_config_result_dict_round_trip(self, baseline):
+        restored = config_result_from_dict(baseline[0])
+        assert config_result_to_dict(restored) == baseline[0]
+
+    def test_serial_resilient_identical(self, baseline):
+        outcome = make_runner(processes=1).run_points(
+            POINTS, failure_policy="collect"
+        )
+        assert_matches_baseline(outcome, baseline)
+
+
+class TestInjectedFailures:
+    def test_transient_crash_retried_and_bit_identical(self, baseline):
+        faults.activate(
+            FaultPlan([FaultSpec("raise", at=1, attempts=frozenset({1}))])
+        )
+        outcome = make_runner().run_points(
+            POINTS, failure_policy="retry_then_collect", retry=FAST
+        )
+        assert outcome.ok and outcome.retries >= 1
+        assert_matches_baseline(outcome, baseline)
+
+    def test_persistent_crash_collected_others_unharmed(
+        self, baseline, tmp_path
+    ):
+        faults.activate(FaultPlan([FaultSpec("raise", at=1)]))
+        runner = make_runner(obs_dir=tmp_path)
+        outcome = runner.run_points(
+            POINTS, failure_policy="retry_then_collect", retry=FAST
+        )
+        assert not outcome.ok
+        assert outcome.results[1] is None
+        assert_matches_baseline(outcome, baseline, skip={1})
+        (failure,) = outcome.failures
+        assert failure.key == 1
+        assert failure.error_type == "InjectedFaultError"
+        assert failure.attempts == FAST.max_attempts
+        assert failure.point["associativity"] == POINTS[1].associativity
+        assert failure.signature is not None
+        # The degraded run is visibly degraded in its provenance manifest.
+        manifest = RunManifest.load(tmp_path / "manifest.json")
+        assert manifest.failures
+        assert "InjectedFaultError" in manifest.failures[0]["error"]
+
+    def test_fail_fast_raises_and_records(self):
+        faults.activate(FaultPlan([FaultSpec("raise", at=0)]))
+        runner = make_runner()
+        with pytest.raises(SweepPointError) as excinfo:
+            runner.run_points(POINTS, failure_policy="fail_fast")
+        assert excinfo.value.failure is not None
+        assert runner.failures and runner.failures[0]["key"] == 0
+
+
+class TestCheckpointResume:
+    def test_interrupted_sweep_resumes_bit_identically(
+        self, baseline, tmp_path
+    ):
+        path = tmp_path / "sweep.ckpt"
+        faults.activate(FaultPlan([FaultSpec("raise", at=2)]))
+        interrupted = make_runner().run_points(
+            POINTS, failure_policy="collect", checkpoint=path
+        )
+        assert interrupted.completed() == len(POINTS) - 1
+        faults.deactivate()
+        metrics = MetricsRegistry()
+        resumed = make_runner(metrics=metrics).run_points(
+            POINTS, failure_policy="collect", checkpoint=path
+        )
+        assert resumed.ok
+        assert resumed.resumed == len(POINTS) - 1
+        assert_matches_baseline(resumed, baseline)
+        counters = metrics.snapshot()["counters"]
+        assert counters["resilience.checkpoint_resumed"] == len(POINTS) - 1
+
+    def test_fully_checkpointed_sweep_runs_nothing(self, baseline, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        make_runner().run_points(
+            POINTS, failure_policy="collect", checkpoint=path
+        )
+        resumed = make_runner().run_points(
+            POINTS, failure_policy="collect", checkpoint=path
+        )
+        assert resumed.resumed == len(POINTS)
+        assert_matches_baseline(resumed, baseline)
+
+    def test_checkpoint_accepts_prebuilt_store(self, baseline, tmp_path):
+        runner = make_runner()
+        checkpoint = SweepCheckpoint(
+            tmp_path / "sweep.ckpt", config_hash=runner.sweep_config_hash()
+        )
+        outcome = runner.run_points(
+            POINTS[:1], failure_policy="collect", checkpoint=checkpoint
+        )
+        assert outcome.ok
+        assert len(checkpoint.results) == 1
+
+    def test_wrong_workload_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        make_runner().run_points(
+            POINTS[:1], failure_policy="collect", checkpoint=path
+        )
+        other = make_runner(
+            workload=AtumWorkload(
+                segments=2, references_per_segment=1_500, seed=99
+            )
+        )
+        with pytest.raises(CheckpointError, match="refusing to resume"):
+            other.run_points(
+                POINTS[:1], failure_policy="collect", checkpoint=path
+            )
+
+    def test_sweep_config_hash_stable_across_instances(self):
+        assert (
+            make_runner().sweep_config_hash()
+            == make_runner().sweep_config_hash()
+        )

@@ -101,9 +101,17 @@ class TestFailureWrapping:
             runner.run_points([good, bad])
         message = str(excinfo.value)
         assert "not-a-geometry" in message
-        assert runner.failures == [{"error": message}]
+        # The failure record is structured: kind, exception class,
+        # worker traceback, and a human-readable summary line.
+        (record,) = runner.failures
+        assert record["error_type"] == "ConfigurationError"
+        assert "not-a-geometry" in record["message"]
+        assert "ConfigurationError" in record["traceback"]
+        assert "not-a-geometry" in record["error"]
         manifest = json.loads((tmp_path / "manifest.json").read_text())
-        assert manifest["failures"] == [{"error": message}]
+        (persisted,) = manifest["failures"]
+        assert persisted["error"] == record["error"]
+        assert persisted["point"]["l2"] == "not-a-geometry"
 
 
 class TestProvenanceEmission:

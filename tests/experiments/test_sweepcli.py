@@ -1,0 +1,99 @@
+"""repro-sweep CLI: exit codes, JSON output, checkpoint/resume flags."""
+
+import json
+
+import pytest
+
+from repro.experiments.sweepcli import EXIT_PARTIAL, main
+from repro.resilience import faults
+from repro.resilience.faults import ENV_VAR
+
+
+@pytest.fixture(autouse=True)
+def clean_plan(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+def base_args(tmp_path, *extra):
+    return [
+        "--l1", "4K-16",
+        "--l2", "64K-32",
+        "--assoc", "2,4",
+        "--scale", "0.002",
+        "--processes", "2",
+        "--retry-base", "0.01",
+        "--out", str(tmp_path / "results.json"),
+        *extra,
+    ]
+
+
+def read_out(tmp_path):
+    return json.loads((tmp_path / "results.json").read_text())
+
+
+class TestHappyPath:
+    def test_completes_with_exit_zero(self, tmp_path):
+        assert main(base_args(tmp_path)) == 0
+        payload = read_out(tmp_path)
+        assert len(payload["points"]) == 2
+        assert all(p["result"] is not None for p in payload["points"])
+        assert payload["failures"] == []
+
+    def test_checkpoint_and_resume(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep.ckpt")
+        assert main(base_args(tmp_path, "--checkpoint", checkpoint)) == 0
+        assert (
+            main(
+                base_args(
+                    tmp_path, "--checkpoint", checkpoint, "--resume"
+                )
+            )
+            == 0
+        )
+        payload = read_out(tmp_path)
+        assert payload["resumed"] == 2
+
+
+class TestUsageErrors:
+    def test_resume_requires_checkpoint(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(base_args(tmp_path, "--resume"))
+        assert excinfo.value.code == 2
+
+    def test_existing_checkpoint_needs_resume(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep.ckpt")
+        assert main(base_args(tmp_path, "--checkpoint", checkpoint)) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(base_args(tmp_path, "--checkpoint", checkpoint))
+        assert excinfo.value.code == 2
+
+
+class TestFailurePaths:
+    def test_injected_failure_yields_partial_exit(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_VAR, "raise@0")
+        code = main(
+            base_args(tmp_path, "--failure-policy", "collect")
+        )
+        assert code == EXIT_PARTIAL
+        payload = read_out(tmp_path)
+        assert payload["points"][0]["result"] is None
+        assert payload["points"][1]["result"] is not None
+        (failure,) = payload["failures"]
+        assert failure["error_type"] == "InjectedFaultError"
+
+    def test_transient_failure_retried_to_success(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(ENV_VAR, "raise@0:attempts=1")
+        code = main(
+            base_args(tmp_path, "--failure-policy", "retry_then_collect")
+        )
+        assert code == 0
+        payload = read_out(tmp_path)
+        assert payload["retries"] >= 1
+        assert payload["failures"] == []

@@ -1,0 +1,142 @@
+"""Crash-safe checkpoint store: durability, torn tails, identity checks."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    SweepCheckpoint,
+    point_signature,
+)
+
+
+class TestPointSignature:
+    def test_deterministic(self):
+        point = {"l1": "4K-16", "l2": "64K-32", "associativity": 4}
+        assert point_signature(point) == point_signature(dict(point))
+
+    def test_field_order_irrelevant(self):
+        a = {"x": 1, "y": 2}
+        b = {"y": 2, "x": 1}
+        assert point_signature(a) == point_signature(b)
+
+    def test_distinct_points_distinct_signatures(self):
+        assert point_signature({"a": 1}) != point_signature({"a": 2})
+
+    def test_accepts_dataclasses(self):
+        from repro.experiments.runner import SweepPoint
+
+        sig = point_signature(SweepPoint("4K-16", "64K-32", 4))
+        assert sig == point_signature(SweepPoint("4K-16", "64K-32", 4))
+        assert sig != point_signature(SweepPoint("4K-16", "64K-32", 2))
+
+
+class TestRoundTrip:
+    def test_fresh_file_loads_empty(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "s.ckpt", config_hash="h")
+        assert checkpoint.load() == {}
+        assert not checkpoint.exists()
+
+    def test_record_then_load(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        with SweepCheckpoint(path, config_hash="h") as checkpoint:
+            checkpoint.record("sig-a", {"misses": 10})
+            checkpoint.record("sig-b", {"misses": 20})
+        restored = SweepCheckpoint(path, config_hash="h").load()
+        assert restored == {"sig-a": {"misses": 10}, "sig-b": {"misses": 20}}
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        value = 0.1 + 0.2  # not representable exactly in decimal
+        with SweepCheckpoint(path, config_hash="h") as checkpoint:
+            checkpoint.record("sig", {"ratio": value})
+        restored = SweepCheckpoint(path, config_hash="h").load()
+        assert restored["sig"]["ratio"] == value
+
+    def test_results_property_is_a_copy(self, tmp_path):
+        checkpoint = SweepCheckpoint(tmp_path / "s.ckpt", config_hash="h")
+        checkpoint.record("sig", 1)
+        snapshot = checkpoint.results
+        snapshot["other"] = 2
+        assert "other" not in checkpoint.results
+        checkpoint.close()
+
+
+class TestDurability:
+    def seed_file(self, path):
+        with SweepCheckpoint(path, config_hash="h") as checkpoint:
+            checkpoint.record("sig-a", 1)
+            checkpoint.record("sig-b", 2)
+
+    def test_torn_tail_dropped_and_compacted(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        self.seed_file(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "result", "signature": "sig-c", "re')
+        restored = SweepCheckpoint(path, config_hash="h").load()
+        assert restored == {"sig-a": 1, "sig-b": 2}
+        # The torn line was compacted away, not left to accumulate.
+        lines = path.read_text().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_corrupt_interior_record_is_fatal(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        self.seed_file(path)
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage {"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="line 2"):
+            SweepCheckpoint(path, config_hash="h").load()
+
+    def test_append_resumes_after_reload(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        self.seed_file(path)
+        with SweepCheckpoint(path, config_hash="h") as checkpoint:
+            checkpoint.record("sig-c", 3)
+        restored = SweepCheckpoint(path, config_hash="h").load()
+        assert set(restored) == {"sig-a", "sig-b", "sig-c"}
+
+
+class TestIdentityChecks:
+    def test_config_hash_mismatch_refused(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        with SweepCheckpoint(path, config_hash="aaa") as checkpoint:
+            checkpoint.record("sig", 1)
+        with pytest.raises(CheckpointError, match="refusing to resume"):
+            SweepCheckpoint(path, config_hash="bbb").load()
+
+    def test_none_hash_skips_the_check(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        with SweepCheckpoint(path, config_hash="aaa") as checkpoint:
+            checkpoint.record("sig", 1)
+        assert SweepCheckpoint(path).load() == {"sig": 1}
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        path.write_text(
+            '{"kind": "result", "signature": "sig", "result": 1}\n'
+        )
+        with pytest.raises(CheckpointError, match="header"):
+            SweepCheckpoint(path, config_hash="h").load()
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        header = {
+            "kind": "header",
+            "schema": CHECKPOINT_SCHEMA_VERSION + 1,
+            "config_hash": "h",
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(CheckpointError, match="schema"):
+            SweepCheckpoint(path, config_hash="h").load()
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        with SweepCheckpoint(path, config_hash="h") as checkpoint:
+            checkpoint.record("sig", 1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "mystery"}\n')
+        with pytest.raises(CheckpointError, match="record kind"):
+            SweepCheckpoint(path, config_hash="h").load()

@@ -1,0 +1,198 @@
+"""ResilientPoolExecutor recovery paths, driven on real worker pools."""
+
+import pytest
+
+from repro.errors import SweepPointError, SweepTimeoutError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import faults
+from repro.resilience.executor import ResilientPoolExecutor
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.policy import FailurePolicy, RetryPolicy
+
+
+def double(payload):
+    """Trivial picklable worker."""
+    return payload * 2
+
+
+def picky(payload):
+    """Worker that rejects one specific payload."""
+    if payload == 13:
+        raise ValueError("unlucky payload")
+    return payload * 2
+
+
+@pytest.fixture(autouse=True)
+def clean_plan():
+    faults.deactivate()
+    yield
+    faults.deactivate()
+
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+
+
+def make(worker=double, **kwargs):
+    kwargs.setdefault("processes", 2)
+    kwargs.setdefault("retry", FAST)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return ResilientPoolExecutor(worker, **kwargs)
+
+
+class TestHappyPath:
+    def test_all_results_in_order(self):
+        report = make().run([(i, i) for i in range(5)])
+        assert report.results == {i: i * 2 for i in range(5)}
+        assert not report.failures
+        assert report.retries == 0
+
+    def test_empty_task_list(self):
+        report = make().run([])
+        assert report.results == {} and not report.failures
+
+    def test_callbacks_fire(self):
+        events = []
+        executor = make(
+            on_submit=lambda key, attempt: events.append(
+                ("submit", key, attempt)
+            ),
+            on_result=lambda key, value: events.append(("result", key)),
+        )
+        executor.run([(0, 1), (1, 2)])
+        assert ("submit", 0, 1) in events and ("submit", 1, 1) in events
+        assert ("result", 0) in events and ("result", 1) in events
+
+
+class TestWorkerExceptions:
+    def test_collect_records_structured_failure(self):
+        executor = make(picky, failure_policy=FailurePolicy.COLLECT)
+        report = executor.run([(0, 1), (1, 13), (2, 3)])
+        assert report.results == {0: 2, 2: 6}
+        (failure,) = report.failures
+        assert failure.key == 1
+        assert failure.kind == "raise"
+        assert failure.error_type == "ValueError"
+        assert "unlucky payload" in failure.message
+        assert "ValueError" in failure.traceback
+        assert failure.worker_pid is not None
+        assert failure.attempts == 1  # collect never retries
+
+    def test_fail_fast_raises_with_failure_attached(self):
+        executor = make(picky, failure_policy="fail_fast")
+        with pytest.raises(SweepPointError) as excinfo:
+            executor.run([(0, 13)])
+        assert excinfo.value.failure.error_type == "ValueError"
+
+    def test_on_failure_callback(self):
+        seen = []
+        executor = make(
+            picky, failure_policy="collect", on_failure=seen.append
+        )
+        executor.run([(0, 13)])
+        assert seen[0].key == 0
+
+    def test_retry_exhausts_attempt_budget(self):
+        executor = make(picky, failure_policy="retry_then_collect")
+        report = executor.run([(0, 13)])
+        (failure,) = report.failures
+        assert failure.attempts == FAST.max_attempts
+        assert report.retries == FAST.max_attempts - 1
+
+
+class TestInjectedFaults:
+    def test_transient_raise_retried_to_success(self):
+        faults.activate(
+            FaultPlan([FaultSpec("raise", at=1, attempts=frozenset({1}))])
+        )
+        metrics = MetricsRegistry()
+        executor = make(
+            failure_policy="retry_then_collect", metrics=metrics
+        )
+        report = executor.run([(i, i) for i in range(3)])
+        assert report.results == {0: 0, 1: 2, 2: 4}
+        assert not report.failures
+        assert report.retries == 1
+        assert metrics.snapshot()["counters"]["resilience.retries"] == 1
+
+    def test_worker_death_recovered(self):
+        faults.activate(
+            FaultPlan([FaultSpec("exit", at=2, attempts=frozenset({1}))])
+        )
+        executor = make(failure_policy="retry_then_collect")
+        report = executor.run([(i, i) for i in range(4)])
+        assert report.results == {i: i * 2 for i in range(4)}
+        assert report.pool_restarts >= 1
+
+    def test_persistent_worker_death_collected_as_crash(self):
+        faults.activate(FaultPlan([FaultSpec("exit", at=0)]))
+        executor = make(failure_policy="retry_then_collect", processes=1)
+        report = executor.run([(0, 0), (1, 1)])
+        assert report.results == {1: 2}
+        (failure,) = report.failures
+        assert failure.kind == "crash"
+        assert failure.error_type == "BrokenProcessPool"
+
+    def test_hang_reaped_by_timeout_then_retried(self):
+        faults.activate(
+            FaultPlan(
+                [FaultSpec("hang", at=0, attempts=frozenset({1}), seconds=60)]
+            )
+        )
+        executor = make(
+            failure_policy="retry_then_collect",
+            retry=RetryPolicy(
+                max_attempts=2, base_delay=0.01, jitter=0.0, timeout=1.0
+            ),
+        )
+        report = executor.run([(0, 5), (1, 6)])
+        assert report.results == {0: 10, 1: 12}
+        assert report.timeouts == 1
+        assert report.pool_restarts >= 1
+
+    def test_persistent_hang_becomes_timeout_failure(self):
+        faults.activate(FaultPlan([FaultSpec("hang", at=0, seconds=60)]))
+        executor = make(
+            failure_policy="collect",
+            retry=RetryPolicy(max_attempts=1, timeout=0.5),
+            processes=1,
+        )
+        report = executor.run([(0, 5)])
+        (failure,) = report.failures
+        assert failure.kind == "timeout"
+        assert isinstance(failure.to_exception(), SweepTimeoutError)
+
+
+class TestValidator:
+    def test_corrupt_result_rejected_not_merged(self):
+        faults.activate(FaultPlan([FaultSpec("corrupt", at=0)]))
+
+        def validator(key, value):
+            if not isinstance(value, int):
+                raise TypeError(f"corrupt payload {value!r}")
+
+        metrics = MetricsRegistry()
+        executor = make(
+            failure_policy="collect", metrics=metrics, validator=validator
+        )
+        report = executor.run([(0, 1), (1, 2)])
+        assert report.results == {1: 4}
+        (failure,) = report.failures
+        assert failure.error_type == "TypeError"
+        counters = metrics.snapshot()["counters"]
+        assert counters["resilience.invalid_results"] == 1
+
+    def test_transient_corruption_retried_clean(self):
+        faults.activate(
+            FaultPlan([FaultSpec("corrupt", at=0, attempts=frozenset({1}))])
+        )
+
+        def validator(key, value):
+            if not isinstance(value, int):
+                raise TypeError("corrupt")
+
+        executor = make(
+            failure_policy="retry_then_collect", validator=validator
+        )
+        report = executor.run([(0, 1)])
+        assert report.results == {0: 2}
+        assert report.retries == 1

@@ -1,0 +1,159 @@
+"""Retry/failure policies: validation, determinism, failure records."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    SweepPointError,
+    SweepTimeoutError,
+)
+from repro.resilience.policy import (
+    FAILURE_KINDS,
+    FailurePolicy,
+    PointFailure,
+    RetryPolicy,
+    SweepOutcome,
+)
+
+
+class TestFailurePolicy:
+    def test_coerce_accepts_enum(self):
+        assert FailurePolicy.coerce(FailurePolicy.COLLECT) is (
+            FailurePolicy.COLLECT
+        )
+
+    def test_coerce_accepts_string(self):
+        assert FailurePolicy.coerce("retry_then_collect") is (
+            FailurePolicy.RETRY_THEN_COLLECT
+        )
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="failure policy"):
+            FailurePolicy.coerce("explode")
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"max_delay": -1.0},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"timeout": 0.0},
+            {"timeout": -5.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_numbers_are_one_based(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay("key", 0)
+
+
+class TestBackoffDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(max_attempts=5, seed=42)
+        b = RetryPolicy(max_attempts=5, seed=42)
+        assert a.schedule(3) == b.schedule(3)
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(max_attempts=5, seed=1)
+        b = RetryPolicy(max_attempts=5, seed=2)
+        assert a.schedule(3) != b.schedule(3)
+
+    def test_different_keys_decorrelate(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert policy.schedule(0) != policy.schedule(1)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=1.0, multiplier=2.0, jitter=0.0
+        )
+        assert policy.schedule("any") == [1.0, 2.0, 4.0]
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0,
+            max_delay=5.0, jitter=0.0,
+        )
+        assert policy.schedule("k") == [1.0, 5.0, 5.0, 5.0, 5.0]
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=2, base_delay=1.0, jitter=0.5
+        )
+        for key in range(50):
+            delay = policy.delay(key, 1)
+            assert 1.0 <= delay < 1.5
+
+    def test_schedule_length(self):
+        assert len(RetryPolicy(max_attempts=1).schedule("k")) == 0
+        assert len(RetryPolicy(max_attempts=4).schedule("k")) == 3
+
+
+class TestPointFailure:
+    def make(self, kind="raise"):
+        return PointFailure(
+            key=2,
+            kind=kind,
+            error_type="SimulationError",
+            message="boom",
+            traceback="Traceback ...",
+            attempts=3,
+            worker_pid=1234,
+        )
+
+    def test_kinds_registry(self):
+        assert set(FAILURE_KINDS) == {"raise", "timeout", "crash"}
+
+    def test_to_dict_has_summary_line(self):
+        data = self.make().to_dict()
+        assert data["key"] == 2
+        assert data["attempts"] == 3
+        assert "SimulationError" in data["error"]
+        assert "3 attempt" in data["error"]
+
+    def test_to_exception_carries_failure(self):
+        failure = self.make()
+        exc = failure.to_exception()
+        assert isinstance(exc, SweepPointError)
+        assert exc.failure is failure
+
+    def test_timeout_kind_maps_to_timeout_error(self):
+        exc = self.make(kind="timeout").to_exception()
+        assert isinstance(exc, SweepTimeoutError)
+
+    def test_exception_survives_pickling(self):
+        import pickle
+
+        exc = self.make().to_exception()
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, SweepPointError)
+        assert clone.failure.error_type == "SimulationError"
+
+
+class TestSweepOutcome:
+    def test_ok_and_completed(self):
+        outcome = SweepOutcome(results=["a", None, "c"])
+        assert outcome.completed() == 2
+        assert outcome.ok  # no failure records yet
+
+    def test_raise_if_failed(self):
+        failure = PointFailure(
+            key=1, kind="raise", error_type="ValueError", message="x"
+        )
+        outcome = SweepOutcome(results=[None], failures=[failure])
+        assert not outcome.ok
+        with pytest.raises(SweepPointError):
+            outcome.raise_if_failed()
+
+    def test_raise_if_failed_returns_self_when_ok(self):
+        outcome = SweepOutcome(results=["a"])
+        assert outcome.raise_if_failed() is outcome

@@ -77,9 +77,79 @@ class TestErrors:
         with pytest.raises(TraceFormatError, match="truncated"):
             list(read_binary(buffer))
 
+    def test_truncated_record_names_offset(self):
+        import struct
+
+        buffer = io.BytesIO(
+            MAGIC + struct.pack("<BQ", 0, 0x10) + b"\x00\x01"
+        )
+        with pytest.raises(TraceFormatError, match="offset 13"):
+            list(read_binary(buffer))
+
     def test_unknown_kind(self):
         import struct
 
         buffer = io.BytesIO(MAGIC + struct.pack("<BQ", 9, 0))
-        with pytest.raises(TraceFormatError, match="unknown record kind"):
+        with pytest.raises(
+            TraceFormatError, match="unknown record kind 9 at offset 4"
+        ):
             list(read_binary(buffer))
+
+    def test_truncated_gzip_fatal(self, tmp_path):
+        path = tmp_path / "trace.rpt.gz"
+        write_binary(
+            [Reference(AccessKind.LOAD, i) for i in range(500)], path
+        )
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError):
+            list(read_binary(path))
+
+
+class TestSkipMode:
+    @pytest.fixture(autouse=True)
+    def isolated_metrics(self):
+        from repro.obs.metrics import MetricsRegistry, set_metrics
+
+        self.metrics = MetricsRegistry()
+        previous = set_metrics(self.metrics)
+        yield
+        set_metrics(previous)
+
+    def skipped(self):
+        counters = self.metrics.snapshot()["counters"]
+        return counters.get("trace.binary.skipped_records", 0)
+
+    def corrupted_buffer(self):
+        import struct
+
+        return io.BytesIO(
+            MAGIC
+            + struct.pack("<BQ", 0, 0x10)
+            + struct.pack("<BQ", 9, 0x20)  # unknown kind byte
+            + struct.pack("<BQ", 1, 0x30)
+        )
+
+    def test_unknown_kind_dropped_and_counted(self):
+        refs = list(read_binary(self.corrupted_buffer(), errors="skip"))
+        assert refs == [
+            Reference(AccessKind.LOAD, 0x10),
+            Reference(AccessKind.STORE, 0x30),
+        ]
+        assert self.skipped() == 1
+
+    def test_clean_trace_skips_nothing(self):
+        buffer = io.BytesIO()
+        write_binary(SAMPLE, buffer)
+        buffer.seek(0)
+        assert list(read_binary(buffer, errors="skip")) == SAMPLE
+        assert self.skipped() == 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TraceFormatError, match="errors mode"):
+            list(read_binary(io.BytesIO(MAGIC), errors="ignore"))
+
+    def test_truncation_fatal_even_in_skip_mode(self):
+        buffer = io.BytesIO(MAGIC + b"\x00\x01")
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary(buffer, errors="skip"))
