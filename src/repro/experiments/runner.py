@@ -297,6 +297,12 @@ def _replay_segment(payload):
 #: worker-side reporting (serial runs and spawn platforms).
 _PROGRESS_QUEUE = None
 
+#: Seconds to wait for the progress drainer thread after enqueueing
+#: its sentinel, before logging ``sweep.progress_drainer_stuck`` and
+#: abandoning it (it is a daemon thread, so it can never block
+#: interpreter exit). Module-level so tests can shrink it.
+_DRAINER_JOIN_TIMEOUT = 5.0
+
 
 def _run_sweep_shard(payload):
     """Worker: run a batch of sweep points sharing one L1 geometry.
@@ -1025,18 +1031,27 @@ class ParallelSweepRunner:
             _PROGRESS_QUEUE = None
             if queue is not None:
                 queue.put(None)
-                drainer.join(timeout=5)
+                drainer.join(timeout=_DRAINER_JOIN_TIMEOUT)
                 if drainer.is_alive():
                     # The daemon drainer is wedged (a slow stream or a
                     # worker that died mid-put): it must not keep the
                     # queue's pipe alive for the rest of the process.
                     log.warning(
                         "sweep.progress_drainer_stuck",
-                        joined_timeout_s=5,
+                        joined_timeout_s=_DRAINER_JOIN_TIMEOUT,
                         finished=reporter.finished_count,
                         total=reporter.total,
                     )
                 queue.close()
+
+    def checkpoint_for(self, path) -> SweepCheckpoint:
+        """A :class:`SweepCheckpoint` at ``path`` pinned to this sweep.
+
+        The checkpoint's identity is :meth:`sweep_config_hash`, so it
+        interoperates with :meth:`run_points`'s ``checkpoint=`` and a
+        later ``repro-sweep --resume`` against the same workload.
+        """
+        return SweepCheckpoint(path, config_hash=self.sweep_config_hash())
 
     def write_obs(self, obs_dir=None) -> Optional[RunManifest]:
         """Write the sweep's provenance manifest and span trace.
@@ -1069,3 +1084,55 @@ class ParallelSweepRunner:
         manifest.write(obs_dir / "manifest.json")
         self.tracer.write_jsonl(obs_dir / "trace.jsonl")
         return manifest
+
+
+def run_sweep_job(
+    points: Sequence[SweepPoint],
+    workload: Optional[AtumWorkload] = None,
+    processes: Optional[int] = None,
+    use_engine: bool = True,
+    failure_policy: "FailurePolicy | str" = FailurePolicy.RETRY_THEN_COLLECT,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: "SweepCheckpoint | str | None" = None,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> SweepOutcome:
+    """Run one sweep *job* end to end through the resilient path.
+
+    The job-granular entry point shared by ``repro-sweep``, the
+    ``repro-serve`` daemon, and the chaos harness: build a
+    :class:`ParallelSweepRunner` for ``workload``, execute ``points``
+    under the given failure policy (bounded retries, per-point
+    timeouts, worker-death recovery), optionally checkpointing each
+    completed point, and return the structured
+    :class:`~repro.resilience.policy.SweepOutcome`. Results are
+    bit-identical to a serial run of the same points.
+
+    Args:
+        points: Sweep points, in output order.
+        workload: Shared workload; defaults to
+            :func:`~repro.experiments.configs.default_workload`.
+        processes: Worker-pool size; defaults to the CPU count.
+        use_engine: Forwarded to the per-worker runners.
+        failure_policy: ``fail_fast`` / ``collect`` /
+            ``retry_then_collect`` (enum or string).
+        retry: Backoff and per-point timeout parameters.
+        checkpoint: A :class:`~repro.resilience.checkpoint.SweepCheckpoint`
+            or path; completed points found in it are restored instead
+            of re-run, new completions are durably appended.
+        metrics: Target registry for the merged worker metrics.
+        tracer: Target tracer for the sweep span.
+    """
+    runner = ParallelSweepRunner(
+        workload,
+        processes=processes,
+        use_engine=use_engine,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return runner.run_points(
+        points,
+        failure_policy=failure_policy,
+        retry=retry if retry is not None else RetryPolicy(),
+        checkpoint=checkpoint,
+    )

@@ -16,17 +16,20 @@ bit-identical to an uninterrupted sweep. Failures are reported per
 point (and recorded in the ``--obs-dir`` manifest) instead of
 aborting the whole sweep.
 
-Exit codes: 0 — every point completed; 3 — the sweep finished but
-some points failed (partial results were still written); 2 — bad
-usage (including refusing to overwrite an existing checkpoint without
-``--resume``).
+Exit codes: 0 — every point completed; 3 — partial: some points
+failed, or a SIGTERM/SIGINT interrupted the sweep (completed points
+are durable in the checkpoint and a rerun with ``--resume`` finishes
+the remainder); 2 — bad usage (including refusing to overwrite an
+existing checkpoint without ``--resume``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -42,6 +45,41 @@ from repro.resilience.policy import RetryPolicy
 
 #: Exit code when the sweep completed with point failures.
 EXIT_PARTIAL = 3
+
+
+class _SweepInterrupted(Exception):
+    """Internal: a shutdown signal arrived mid-sweep."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+def _install_signal_handlers():
+    """Route SIGTERM/SIGINT into :class:`_SweepInterrupted`.
+
+    Returns the replaced handlers (for restoration), or ``None`` when
+    not on the main thread (signal handlers can only be installed
+    there; embedded callers keep their own handling).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def handler(signum, frame):
+        raise _SweepInterrupted(signum)
+
+    return {
+        signum: signal.signal(signum, handler)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+
+
+def _restore_signal_handlers(previous) -> None:
+    """Put back the handlers replaced by :func:`_install_signal_handlers`."""
+    if previous is None:
+        return
+    for signum, old in previous.items():
+        signal.signal(signum, old)
 
 
 def _build_points(args) -> List[SweepPoint]:
@@ -142,12 +180,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         base_delay=args.retry_base,
         timeout=args.timeout,
     )
-    outcome = runner.run_points(
-        points,
-        failure_policy=args.failure_policy,
-        retry=retry,
-        checkpoint=args.checkpoint,
-    )
+    previous_handlers = _install_signal_handlers()
+    try:
+        outcome = runner.run_points(
+            points,
+            failure_policy=args.failure_policy,
+            retry=retry,
+            checkpoint=args.checkpoint,
+        )
+    except _SweepInterrupted as exc:
+        # Completed points are already durable in the checkpoint (each
+        # is fsync'd as it finishes); report the partial state honestly
+        # instead of dying with a KeyboardInterrupt traceback.
+        log.warning(
+            "sweep.interrupted",
+            signal=exc.signum,
+            checkpoint=args.checkpoint,
+        )
+        if args.checkpoint is not None:
+            log.info(
+                f"completed points are checkpointed in {args.checkpoint}; "
+                "rerun with --resume to finish the sweep"
+            )
+        else:
+            log.info(
+                "no --checkpoint was given, so completed points were "
+                "discarded; rerun with --checkpoint to make interrupted "
+                "sweeps resumable"
+            )
+        return EXIT_PARTIAL
+    finally:
+        _restore_signal_handlers(previous_handlers)
 
     for point, result in zip(points, outcome.results):
         name = f"{point.l1} / {point.l2} {point.associativity}-way"

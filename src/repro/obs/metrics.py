@@ -16,6 +16,23 @@ Deterministic counters (e.g. ``engine.accesses``) therefore merge to
 *bit-identical* totals regardless of sharding — the same discipline the
 probe differential tests enforce — while timing histograms (e.g.
 ``runner.shard_seconds``) merge to a faithful distribution.
+
+Metric namespaces, by producing layer:
+
+- ``engine.*`` / ``runner.*`` — simulation and sweep execution;
+- ``resilience.*`` — the fault-tolerant executor (retries, pool
+  restarts, timeouts) and the service's circuit breakers
+  (``resilience.breaker.<name>.{state,opened,failures,successes,
+  rejected}``, where the ``state`` gauge encodes closed=0,
+  half_open=1, open=2);
+- ``service.*`` — the ``repro-serve`` daemon: ``service.queue.{depth,
+  accepted,rejected,shed_transitions}``, ``service.admission.
+  {accepted,rejected}``, ``service.jobs.{done,partial,failed}``, and
+  ``service.watchdog.{busy_workers,stalls}``.
+
+The daemon also traces one ``service_job`` span per executed job, so
+its drain manifest carries a per-job phase breakdown exactly like a
+batch run's.
 """
 
 from __future__ import annotations

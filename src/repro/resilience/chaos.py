@@ -18,7 +18,12 @@ the resilience layer makes about it:
   bit-identical discipline the regression gates rely on);
 - ``resume``  — a sweep interrupted after N points finishes from its
   checkpoint running only the remainder, with merged results
-  bit-identical to an uninterrupted run.
+  bit-identical to an uninterrupted run;
+- ``service`` — worker deaths inside the simulation daemon open its
+  execution circuit breaker (readiness flips to not-ready) without
+  dropping queued work; after the fault clears, a half-open probe
+  closes the breaker and a resubmission resumes from the spooled
+  checkpoint bit-identically.
 
 Exit code 0 means every requested scenario held; 1 names the ones
 that did not. With ``--obs-dir`` the persistent-crash scenario writes
@@ -36,6 +41,7 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -226,6 +232,99 @@ def scenario_resume(harness: ChaosHarness) -> bool:
         )
 
 
+def scenario_service(harness: ChaosHarness) -> bool:
+    """Worker deaths inside the service open the breaker; it recovers.
+
+    Runs the real daemon core (no HTTP) against the harness workload
+    with a persistent worker-exit fault: jobs complete *partial*, the
+    execution breaker opens after the failure threshold, readiness
+    flips to not-ready, and the queue still drains (accepted work is
+    never dropped). After the fault clears, a half-open probe closes
+    the breaker and a resubmission of the same points resumes from
+    the spooled checkpoint — with results bit-identical to a
+    fault-free sweep.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import Tracer
+    from repro.service import OPEN, SimulationService
+
+    def wait_for(job_id, service, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            record = service.job(job_id)
+            if record["status"] in ("done", "partial", "failed"):
+                return record
+            time.sleep(0.1)
+        return service.job(job_id)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = SimulationService(
+            workload=harness.workload,
+            spool_dir=tmp,
+            queue_size=4,
+            # One pool process keeps the kill deterministic: the exit
+            # fault takes out exactly its own point, never an innocent
+            # in-flight neighbor (that behavior is scenario_exit's).
+            processes=1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.05),
+            breaker_threshold=2,
+            breaker_reset=1.0,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        )
+        outcomes = []
+        default_runner = service.job_runner
+
+        def capturing_runner(job):
+            outcome = default_runner(job)
+            outcomes.append(outcome)
+            return outcome
+
+        service.job_runner = capturing_runner
+        service.start()
+        payload = {
+            "points": [
+                {"l1": p.l1, "l2": p.l2, "associativity": p.associativity}
+                for p in POINTS
+            ]
+        }
+        faults.activate(FaultPlan([FaultSpec("exit", at=1)]))
+        try:
+            first = wait_for(service.submit(payload)["id"], service)
+            second = wait_for(service.submit(payload)["id"], service)
+        finally:
+            faults.deactivate()
+        # Both jobs lost workers on point 1 and finished partial; two
+        # consecutive job failures must open the execution breaker and
+        # flip readiness, while the queue still drained everything.
+        if first["status"] != "partial" or second["status"] != "partial":
+            return False
+        if outcomes[0].pool_restarts < 1:
+            return False
+        if service.execute_breaker.state != OPEN or service.ready()[0]:
+            return False
+        if service.queue.depth != 0:
+            return False
+        # The second job must have resumed the first job's completed
+        # points from the shared (config-hash-keyed) checkpoint.
+        if second["summary"]["resumed"] != len(POINTS) - 1:
+            return False
+        # Fault cleared: after the reset timeout a half-open probe runs
+        # the resubmitted job, which resumes the checkpoint, completes
+        # the one missing point, and closes the breaker.
+        time.sleep(1.1)
+        third = wait_for(service.submit(payload)["id"], service)
+        if third["status"] != "done":
+            return False
+        if third["summary"]["resumed"] != len(POINTS) - 1:
+            return False
+        if service.execute_breaker.state != "closed" or not service.ready()[0]:
+            return False
+        if not harness.matches_baseline(outcomes[-1]):
+            return False
+        return service.drain(grace=30.0)
+
+
 #: Scenario registry, in execution order.
 SCENARIOS: Dict[str, Callable[[ChaosHarness], bool]] = {
     "crash": scenario_crash,
@@ -233,6 +332,7 @@ SCENARIOS: Dict[str, Callable[[ChaosHarness], bool]] = {
     "hang": scenario_hang,
     "corrupt": scenario_corrupt,
     "resume": scenario_resume,
+    "service": scenario_service,
 }
 
 

@@ -16,7 +16,12 @@ Durability discipline:
 - the header pins a ``config_hash`` of the sweep's workload identity,
   so resuming against the wrong workload raises
   :class:`~repro.errors.CheckpointError` instead of silently merging
-  incompatible results.
+  incompatible results;
+- an **advisory lock** (an ``O_CREAT | O_EXCL`` sidecar lockfile next
+  to the checkpoint) makes two concurrent writers fail fast with
+  :class:`~repro.errors.CheckpointError` instead of interleaving
+  appends; a lock left behind by a dead process (its recorded PID no
+  longer exists) is stolen automatically.
 
 Records are keyed by :func:`point_signature` — a content address of
 the point's full configuration — so reordering or extending the point
@@ -76,6 +81,12 @@ class SweepCheckpoint:
         self.config_hash = config_hash
         self._handle: Optional[IO[str]] = None
         self._results: Dict[str, Any] = {}
+        self._lock_held = False
+
+    @property
+    def lock_path(self) -> Path:
+        """The advisory lockfile guarding this checkpoint's writer."""
+        return self.path.with_name(self.path.name + ".lock")
 
     @property
     def results(self) -> Dict[str, Any]:
@@ -175,10 +186,11 @@ class SweepCheckpoint:
         self._results[signature] = result
 
     def close(self) -> None:
-        """Close the append handle (records already durable)."""
+        """Close the append handle and release the advisory lock."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self._release_lock()
 
     def __enter__(self) -> "SweepCheckpoint":
         """Context manager entry; loads existing records."""
@@ -198,19 +210,86 @@ class SweepCheckpoint:
         }
 
     def _ensure_open(self) -> IO[str]:
-        """Open (creating with a durable header if needed) for append."""
+        """Open (creating with a durable header if needed) for append.
+
+        Acquiring the append handle also acquires the advisory lock,
+        so a second concurrent writer fails fast instead of
+        interleaving records with this one.
+        """
         if self._handle is not None:
             return self._handle
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._acquire_lock()
             if not self.path.exists():
                 self._write_atomically([self._header()])
             self._handle = open(self.path, "a", encoding="utf-8")
         except OSError as exc:
+            self._release_lock()
             raise CheckpointError(
                 f"cannot open checkpoint {self.path}: {exc}"
             ) from exc
         return self._handle
+
+    def _acquire_lock(self) -> None:
+        """Take the ``O_CREAT | O_EXCL`` advisory lock, stealing stale ones.
+
+        The lockfile records the holder's PID. If creation fails but
+        the recorded PID no longer exists (the holder died without
+        :meth:`close`), the stale lock is removed and acquisition is
+        retried once; a *live* holder raises
+        :class:`~repro.errors.CheckpointError` immediately.
+        """
+        if self._lock_held:
+            return
+        for attempt in (1, 2):
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                if attempt == 2 or not self._steal_stale_lock():
+                    raise CheckpointError(
+                        f"checkpoint {self.path} is locked by another "
+                        f"writer (lockfile {self.lock_path}); a sweep is "
+                        "already recording to it"
+                    ) from None
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()}\n")
+            self._lock_held = True
+            return
+
+    def _steal_stale_lock(self) -> bool:
+        """Remove the lockfile iff its recorded holder is dead."""
+        try:
+            pid = int(self.lock_path.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            # Unreadable or torn lockfile: treat as stale.
+            pid = None
+        if pid is not None:
+            try:
+                os.kill(pid, 0)
+                return False  # holder is alive
+            except ProcessLookupError:
+                pass  # holder is gone
+            except PermissionError:
+                return False  # alive, owned by someone else
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass  # the holder released it meanwhile
+        return True
+
+    def _release_lock(self) -> None:
+        """Drop the advisory lock if this instance holds it."""
+        if not self._lock_held:
+            return
+        self._lock_held = False
+        try:
+            os.unlink(self.lock_path)
+        except OSError:
+            pass
 
     def _write_atomically(self, records) -> None:
         """Write ``records`` as JSONL via write-temp-then-rename."""
@@ -223,8 +302,14 @@ class SweepCheckpoint:
         os.replace(tmp, self.path)
 
     def _compact(self, records) -> None:
-        """Drop a torn tail by atomically rewriting the parsed records."""
-        self.close()
+        """Drop a torn tail by atomically rewriting the parsed records.
+
+        Closes only the append handle (the advisory lock, if held,
+        stays held — compaction is part of this writer's session).
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
         self._write_atomically(records)
 
     def __repr__(self) -> str:

@@ -1,0 +1,167 @@
+"""Admission control: validate and cost a job *before* it queues.
+
+A malformed or oversized job must be rejected at submission time with
+a useful error, not discovered minutes later inside a worker pool.
+:class:`AdmissionController` runs three checks on every submission:
+
+- **shape** — the payload parses into a non-empty list of
+  :class:`~repro.experiments.runner.SweepPoint`\\ s with geometries
+  :func:`~repro.experiments.configs.parse_geometry` accepts and
+  associativities the simulator supports;
+- **budget** — the job's *estimated probe count* (workload references
+  x sweep points, the same first-order cost model behind the paper's
+  trace-length table) must not exceed ``max_probe_budget``;
+- **identity** — the admitted job is stamped with the
+  ``config_hash`` of its canonicalized configuration (the existing
+  manifest machinery), which doubles as the checkpoint identity the
+  drain path resumes under.
+
+Rejections raise :class:`~repro.errors.AdmissionError` (HTTP 400) and
+are counted under ``service.admission.rejected``; admissions stamp
+the job and count ``service.admission.accepted``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, ConfigurationError, ReproError
+from repro.experiments.configs import parse_geometry
+from repro.experiments.runner import SweepPoint
+from repro.obs.manifest import config_hash
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+
+def estimate_probe_count(workload: Any, points: List[SweepPoint]) -> int:
+    """First-order probe-count estimate for a sweep job.
+
+    Every sweep point replays the workload's reference stream once
+    through an instrumented L2, and each access costs at least one
+    probe, so ``total references x points`` is a sound lower bound —
+    and, because the schemes average a small constant number of probes
+    per access, a faithful relative cost. The admission budget is
+    compared against this estimate.
+    """
+    references = getattr(workload, "segments", 1) * getattr(
+        workload, "references_per_segment", 1
+    )
+    return int(references) * len(points)
+
+
+def parse_points(raw_points: Any) -> List[SweepPoint]:
+    """Build validated :class:`SweepPoint`\\ s from submitted JSON.
+
+    Each entry must be an object with ``l1``, ``l2``, and
+    ``associativity`` (plus the optional SweepPoint fields). Geometry
+    labels are validated via
+    :func:`~repro.experiments.configs.parse_geometry` so a typo fails
+    at admission, not inside a worker.
+    """
+    if not isinstance(raw_points, list) or not raw_points:
+        raise AdmissionError("job must contain a non-empty 'points' list")
+    points = []
+    for index, raw in enumerate(raw_points):
+        if not isinstance(raw, dict):
+            raise AdmissionError(f"points[{index}] must be an object")
+        try:
+            point = SweepPoint(
+                l1=str(raw["l1"]),
+                l2=str(raw["l2"]),
+                associativity=int(raw["associativity"]),
+                tag_bits=int(raw.get("tag_bits", 16)),
+                transforms=tuple(raw.get("transforms", ("xor",))),
+                mru_list_lengths=tuple(raw.get("mru_list_lengths", ())),
+                extra_tag_bits=tuple(raw.get("extra_tag_bits", ())),
+                writeback_optimization=bool(
+                    raw.get("writeback_optimization", True)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AdmissionError(
+                f"points[{index}] is malformed: {exc!r}"
+            ) from exc
+        try:
+            parse_geometry(point.l1)
+            parse_geometry(point.l2)
+        except ReproError as exc:
+            raise AdmissionError(
+                f"points[{index}] has a bad geometry: {exc}"
+            ) from exc
+        if point.associativity < 1:
+            raise AdmissionError(
+                f"points[{index}]: associativity must be >= 1"
+            )
+        points.append(point)
+    return points
+
+
+class AdmissionController:
+    """Validates submissions and stamps them with their config hash.
+
+    Args:
+        workload: The service's shared workload (defines the probe
+            cost of one point).
+        max_probe_budget: Estimated-probe ceiling per job; ``None``
+            disables the budget check.
+        metrics: Registry for ``service.admission.*`` counters;
+            defaults to the process-global registry.
+    """
+
+    def __init__(
+        self,
+        workload: Any,
+        max_probe_budget: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_probe_budget is not None and max_probe_budget < 1:
+            raise ConfigurationError("max_probe_budget must be >= 1")
+        self.workload = workload
+        self.max_probe_budget = max_probe_budget
+        self.metrics = metrics if metrics is not None else get_metrics()
+
+    def admit(
+        self, payload: Dict[str, Any]
+    ) -> Tuple[List[SweepPoint], Dict[str, Any]]:
+        """Validate one submission; returns ``(points, description)``.
+
+        ``description`` carries the admitted job's canonical identity:
+        the parsed points (as dicts), the estimated probe count, and
+        the ``config_hash`` over both — the value the service reports
+        back to the client and pins into the job's checkpoint.
+
+        Raises:
+            AdmissionError: On a malformed payload or a blown budget.
+        """
+        if not isinstance(payload, dict):
+            self._reject("submission must be a JSON object")
+        points = self._checked(lambda: parse_points(payload.get("points")))
+        estimate = estimate_probe_count(self.workload, points)
+        if (
+            self.max_probe_budget is not None
+            and estimate > self.max_probe_budget
+        ):
+            self._reject(
+                f"estimated probe count {estimate} exceeds the admission "
+                f"budget {self.max_probe_budget}; split the job or raise "
+                "--max-probes"
+            )
+        config = {
+            "points": [asdict(point) for point in points],
+            "estimated_probes": estimate,
+        }
+        config["config_hash"] = config_hash(config["points"])
+        self.metrics.counter("service.admission.accepted").inc()
+        return points, config
+
+    def _checked(self, build):
+        """Run ``build``, converting a raise into a counted rejection."""
+        try:
+            return build()
+        except AdmissionError:
+            self.metrics.counter("service.admission.rejected").inc()
+            raise
+
+    def _reject(self, message: str) -> None:
+        self.metrics.counter("service.admission.rejected").inc()
+        raise AdmissionError(message)

@@ -1,0 +1,263 @@
+"""Circuit breaker: stop hammering a failing dependency, probe it back.
+
+The service wraps its two fragile dependencies — trace ingestion and
+worker-pool execution — in a :class:`CircuitBreaker` each. The state
+machine is the classic three-state one:
+
+- **closed** — calls flow through; consecutive failures are counted
+  (any success resets the streak). ``failure_threshold`` consecutive
+  failures trip the breaker;
+- **open** — calls are rejected immediately with
+  :class:`~repro.errors.CircuitOpenError` (no queue time wasted on a
+  dependency that is down). After ``reset_timeout`` seconds the next
+  call is admitted as a probe;
+- **half_open** — up to ``probe_limit`` concurrent probe calls are
+  admitted; ``success_threshold`` consecutive probe successes close
+  the breaker, any probe failure re-opens it (and restarts the
+  ``reset_timeout`` clock).
+
+Failures are reported as the structured
+:class:`~repro.resilience.policy.PointFailure` records the resilience
+layer already produces (or any exception, via
+:meth:`PointFailure.from_exception`), so breaker postmortems carry
+the same attribution as sweep postmortems.
+
+Transitions and verdicts are counted under ``resilience.breaker.*``
+(suffixed with the breaker's name), and the current state is a gauge,
+so ``/metrics`` shows not just *that* the service degraded but which
+dependency tripped it and when it recovered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional
+
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.obs.log import log
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.resilience.policy import PointFailure
+
+#: Breaker states, in escalation order.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of each state (0 is healthy, higher is worse).
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """A named three-state circuit breaker with metrics and history.
+
+    Args:
+        name: Identifier used in metric names
+            (``resilience.breaker.<name>.*``) and log events.
+        failure_threshold: Consecutive failures that trip a closed
+            breaker open (>= 1).
+        reset_timeout: Seconds an open breaker waits before admitting
+            half-open probes.
+        success_threshold: Consecutive half-open probe successes that
+            close the breaker (>= 1).
+        probe_limit: Concurrent calls admitted while half-open.
+        metrics: Registry for the breaker's instruments; defaults to
+            the process-global registry.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        success_threshold: int = 1,
+        probe_limit: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1 or success_threshold < 1 or probe_limit < 1:
+            raise ConfigurationError(
+                "breaker thresholds and probe limit must be >= 1"
+            )
+        if reset_timeout < 0:
+            raise ConfigurationError("reset_timeout must be >= 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.success_threshold = success_threshold
+        self.probe_limit = probe_limit
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._probes_in_flight = 0
+        self._opened_at: Optional[float] = None
+        self._last_failures: List[PointFailure] = []
+        self._set_state_gauge()
+
+    # ------------------------------------------------------------------
+    # state inspection
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for an elapsed reset timeout."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def snapshot(self) -> dict:
+        """Plain-dict state for ``/metrics`` and status endpoints."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+                "retry_after": self._retry_after_locked(),
+                "last_failures": [
+                    failure.to_dict() for failure in self._last_failures
+                ],
+            }
+
+    # ------------------------------------------------------------------
+    # call admission
+
+    def allow(self) -> None:
+        """Admit one call or raise :class:`~repro.errors.CircuitOpenError`.
+
+        Closed: always admits. Open: rejects until ``reset_timeout``
+        elapses. Half-open: admits up to ``probe_limit`` concurrent
+        probes and rejects the rest. Every admitted call **must** be
+        paired with exactly one :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return
+            if (
+                self._state == HALF_OPEN
+                and self._probes_in_flight < self.probe_limit
+            ):
+                self._probes_in_flight += 1
+                return
+            self.metrics.counter(self._metric("rejected")).inc()
+            raise CircuitOpenError(
+                f"circuit breaker {self.name!r} is {self._state}; "
+                f"retry in {self._retry_after_locked():.1f}s",
+                retry_after=self._retry_after_locked(),
+            )
+
+    def record_success(self) -> None:
+        """Report one admitted call as successful."""
+        with self._lock:
+            self.metrics.counter(self._metric("successes")).inc()
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.success_threshold:
+                    self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self, failure: Any = None) -> None:
+        """Report one admitted call as failed.
+
+        Args:
+            failure: Optional
+                :class:`~repro.resilience.policy.PointFailure` or
+                exception (converted via
+                :meth:`PointFailure.from_exception`) retained — last
+                ``failure_threshold`` records — for postmortems via
+                :meth:`snapshot`.
+        """
+        with self._lock:
+            self.metrics.counter(self._metric("failures")).inc()
+            if failure is not None:
+                if isinstance(failure, BaseException):
+                    failure = PointFailure.from_exception(failure)
+                self._last_failures.append(failure)
+                del self._last_failures[: -self.failure_threshold]
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._transition(OPEN)
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+
+    def call(self, func: Callable[[], Any]) -> Any:
+        """Run ``func()`` through the breaker (admit, record, return).
+
+        Any exception from ``func`` is recorded as a failure and
+        re-raised; a normal return records a success.
+        """
+        self.allow()
+        try:
+            result = func()
+        except Exception as exc:
+            self.record_failure(exc)
+            raise
+        self.record_success()
+        return result
+
+    # ------------------------------------------------------------------
+    # internals (all called with the lock held)
+
+    def _metric(self, suffix: str) -> str:
+        return f"resilience.breaker.{self.name}.{suffix}"
+
+    def _retry_after_locked(self) -> float:
+        if self._state != OPEN or self._opened_at is None:
+            return 0.0
+        elapsed = self._clock() - self._opened_at
+        return max(0.0, self.reset_timeout - elapsed)
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the reset timeout has elapsed."""
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(HALF_OPEN)
+
+    def _transition(self, state: str) -> None:
+        previous = self._state
+        self._state = state
+        if state == OPEN:
+            self._opened_at = self._clock()
+            self._probe_successes = 0
+            self.metrics.counter(self._metric("opened")).inc()
+        elif state == CLOSED:
+            self._consecutive_failures = 0
+            self._probe_successes = 0
+            self._probes_in_flight = 0
+            self._opened_at = None
+        elif state == HALF_OPEN:
+            self._probe_successes = 0
+            self._probes_in_flight = 0
+        self._set_state_gauge()
+        event = log.warning if state == OPEN else log.info
+        event(
+            f"service.breaker.{state}",
+            breaker=self.name,
+            previous=previous,
+            consecutive_failures=self._consecutive_failures,
+        )
+
+    def _set_state_gauge(self) -> None:
+        self.metrics.gauge(self._metric("state")).set(
+            STATE_CODES[self._state]
+        )
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(name={self.name!r}, state={self.state!r})"

@@ -1,0 +1,211 @@
+"""Graceful drain and liveness for the simulation daemon.
+
+Two small lifecycle pieces, kept apart from the HTTP plumbing so they
+are testable without sockets:
+
+- :class:`DrainCoordinator` — turns POSIX shutdown signals into the
+  two-phase drain contract: the **first** SIGTERM/SIGINT flips the
+  service into drain mode (stop admitting, finish or checkpoint
+  in-flight jobs, flush observability artifacts, exit 0); a
+  **second** signal is the operator insisting, and hard-exits with
+  status 130 immediately — in-flight work is still recoverable
+  because checkpoints are fsync'd per point;
+- :class:`Watchdog` — a daemon thread that heartbeats the job
+  workers. A worker that has been busy past its job deadline means a
+  hung pool the per-point timeout did not (or could not) reap; the
+  watchdog counts it (``service.watchdog.stalls``) and notifies the
+  service, which trips the execution circuit breaker so readiness
+  flips *before* clients pile more work onto a wedged executor.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.log import log
+from repro.obs.metrics import MetricsRegistry, get_metrics
+
+#: Exit status for the second-signal hard exit (128 + SIGINT).
+HARD_EXIT_CODE = 130
+
+
+class DrainCoordinator:
+    """Two-phase signal handling: graceful drain, then hard exit.
+
+    Args:
+        on_drain: Callbacks invoked (in registration order, once) when
+            the first shutdown signal arrives. They run on the signal
+            frame, so they must only flip flags and notify — the heavy
+            lifting belongs to whoever waits on :meth:`wait`.
+        hard_exit: Callable for the second-signal escape hatch;
+            defaults to ``os._exit`` (tests inject a recorder).
+    """
+
+    def __init__(
+        self,
+        on_drain: Optional[List[Callable[[], None]]] = None,
+        hard_exit: Callable[[int], None] = os._exit,
+    ) -> None:
+        self._on_drain = list(on_drain or [])
+        self._hard_exit = hard_exit
+        self._event = threading.Event()
+        self._signals_seen = 0
+        self._lock = threading.Lock()
+        self._previous: Dict[int, object] = {}
+
+    @property
+    def draining(self) -> bool:
+        """Whether the first shutdown signal has been received."""
+        return self._event.is_set()
+
+    def add_callback(self, callback: Callable[[], None]) -> None:
+        """Register another first-signal callback."""
+        self._on_drain.append(callback)
+
+    def install(self, signals=(signal.SIGTERM, signal.SIGINT)) -> None:
+        """Register the handler for ``signals`` (main thread only).
+
+        The previous handlers are remembered and restored by
+        :meth:`uninstall`, so embedding the service in a larger
+        process (or a test) does not permanently hijack its signals.
+        """
+        for signum in signals:
+            self._previous[signum] = signal.signal(signum, self.handle)
+
+    def uninstall(self) -> None:
+        """Restore the signal handlers replaced by :meth:`install`."""
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
+        self._previous.clear()
+
+    def handle(self, signum, frame=None) -> None:
+        """The signal handler: first signal drains, second hard-exits."""
+        with self._lock:
+            self._signals_seen += 1
+            first = self._signals_seen == 1
+        if not first:
+            log.warning(
+                "service.hard_exit", signal=signum, code=HARD_EXIT_CODE
+            )
+            self._hard_exit(HARD_EXIT_CODE)
+            return
+        log.warning("service.drain_begin", signal=signum)
+        self._event.set()
+        for callback in self._on_drain:
+            callback()
+
+    def request_drain(self) -> None:
+        """Trigger the drain path programmatically (no signal needed)."""
+        self.handle(signal.SIGTERM)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a drain is requested; True if it was."""
+        return self._event.wait(timeout)
+
+
+class Watchdog:
+    """Heartbeat monitor for the service's job-worker threads.
+
+    Workers call :meth:`beat` when they start and finish a job; the
+    watchdog thread wakes every ``interval`` seconds and flags any
+    worker that has been busy on one job longer than ``job_deadline``
+    seconds. Each stall is counted once per job (``service.watchdog.
+    stalls``) and reported through ``on_stall`` — the service uses
+    that to trip its execution breaker, reusing the same reap-and-
+    recover machinery the resilient executor applies to hung pools.
+
+    Args:
+        job_deadline: Wall-clock budget for one job, in seconds.
+        interval: Poll period of the watchdog thread.
+        on_stall: Callback ``(worker_id, busy_seconds)`` per stalled
+            job.
+        metrics: Registry for ``service.watchdog.*`` counters;
+            defaults to the process-global registry.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        job_deadline: float,
+        interval: float = 1.0,
+        on_stall: Optional[Callable[[str, float], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.job_deadline = job_deadline
+        self.interval = interval
+        self.on_stall = on_stall
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: worker id -> (busy since, already flagged) or None when idle.
+        self._busy: Dict[str, List] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def beat(self, worker_id: str, busy: bool) -> None:
+        """Record a worker heartbeat: ``busy=True`` on job start,
+        ``False`` on completion (which also clears any stall flag)."""
+        with self._lock:
+            if busy:
+                self._busy[worker_id] = [self._clock(), False]
+            else:
+                self._busy.pop(worker_id, None)
+            self.metrics.gauge("service.watchdog.busy_workers").set(
+                len(self._busy)
+            )
+
+    def check(self) -> List[str]:
+        """One poll: returns (and reports) newly stalled worker ids."""
+        now = self._clock()
+        stalled = []
+        with self._lock:
+            for worker_id, entry in self._busy.items():
+                since, flagged = entry
+                if flagged or now - since < self.job_deadline:
+                    continue
+                entry[1] = True
+                stalled.append((worker_id, now - since))
+        for worker_id, busy_seconds in stalled:
+            self.metrics.counter("service.watchdog.stalls").inc()
+            log.warning(
+                "service.watchdog.stalled",
+                worker=worker_id,
+                busy_seconds=round(busy_seconds, 1),
+                job_deadline_s=self.job_deadline,
+            )
+            if self.on_stall is not None:
+                self.on_stall(worker_id, busy_seconds)
+        return [worker_id for worker_id, _ in stalled]
+
+    def start(self) -> None:
+        """Start the polling thread (daemon: never blocks exit)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the polling thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(2.0, self.interval * 2))
+            self._thread = None
+        self._stop.clear()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            busy = len(self._busy)
+        return (
+            f"Watchdog(job_deadline={self.job_deadline}, busy_workers={busy})"
+        )

@@ -1,0 +1,626 @@
+"""The long-running simulation service and its local HTTP+JSON API.
+
+:class:`SimulationService` is the daemon core behind ``repro-serve``:
+a bounded job queue feeding worker threads that execute sweep jobs on
+the resilient process-pool path, guarded end to end —
+
+- **admission control** validates and costs every submission before
+  it queues (:mod:`repro.service.admission`);
+- the **bounded queue** sheds load with HTTP 429 + ``Retry-After``
+  once its high watermark is reached (:mod:`repro.service.queue`);
+- an **ingest breaker** turns repeated submission-path crashes (not
+  client errors) into fast 503s, and an **execute breaker** opens
+  after consecutive failed jobs so a wedged or dying worker pool
+  stops accepting work until a half-open probe proves it recovered
+  (:mod:`repro.service.breaker`);
+- a **watchdog** flags workers stuck past their job deadline and
+  trips the execute breaker (:mod:`repro.service.drain`);
+- every job runs with a crash-safe
+  :class:`~repro.resilience.checkpoint.SweepCheckpoint` in the spool
+  directory, so a drain — or a kill — never loses a completed point.
+
+:class:`ServiceHTTPServer` exposes it over loopback HTTP: ``POST
+/jobs`` (202/400/429/503), ``GET /jobs`` and ``GET /jobs/<id>``,
+``GET /healthz`` (process liveness), ``GET /readyz`` (flips 503
+during drain and while the execute breaker is open), and ``GET
+/metrics`` (JSON snapshot of the :mod:`repro.obs.metrics` registry
+plus queue and breaker state). The transport is stdlib
+``http.server`` — zero dependencies, threads not processes, because
+the heavy work already lives in the resilient pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
+from repro.experiments.configs import default_workload
+from repro.experiments.runner import run_sweep_job
+from repro.obs.log import log
+from repro.obs.manifest import RunManifest, describe_workload
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.spans import Tracer, get_tracer
+from repro.resilience.policy import PointFailure, RetryPolicy
+from repro.service.admission import AdmissionController
+from repro.service.breaker import OPEN, CircuitBreaker
+from repro.service.drain import Watchdog
+from repro.service.queue import BoundedJobQueue
+
+#: Job lifecycle states.
+JOB_STATES = (
+    "queued", "running", "done", "partial", "failed", "checkpointed",
+)
+
+
+class Job:
+    """One submitted sweep job and its lifecycle record."""
+
+    def __init__(
+        self, job_id: str, points, config: Dict[str, Any]
+    ) -> None:
+        self.id = job_id
+        self.points = points
+        self.config = config
+        self.status = "queued"
+        self.submitted_unix = time.time()
+        self.started_unix: Optional[float] = None
+        self.finished_unix: Optional[float] = None
+        self.error: Optional[str] = None
+        self.summary: Dict[str, Any] = {}
+        self.checkpoint_path: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-representable job record for the HTTP API."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "points": len(self.points),
+            "config_hash": self.config.get("config_hash"),
+            "estimated_probes": self.config.get("estimated_probes"),
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+            "summary": self.summary,
+            "checkpoint": self.checkpoint_path,
+        }
+
+
+class SimulationService:
+    """The daemon core: queue, breakers, workers, watchdog, drain.
+
+    Args:
+        workload: Shared simulation workload; defaults to
+            :func:`~repro.experiments.configs.default_workload`.
+        spool_dir: Directory for per-job checkpoints and the drain
+            manifest; created on first use.
+        queue_size: Hard bound on queued jobs.
+        high_watermark / low_watermark: Shedding hysteresis bounds
+            (defaults per :class:`~repro.service.queue.BoundedJobQueue`).
+        retry_after: Seconds clients are told to back off on 429.
+        max_probe_budget: Admission ceiling on estimated probes per
+            job (``None`` = unlimited).
+        workers: Job-worker thread count (each runs one job at a time
+            on its own resilient process pool).
+        processes: Process-pool size per job; defaults to CPU count.
+        retry: Per-point retry/timeout policy for job execution.
+        breaker_threshold: Consecutive job failures that open the
+            execute breaker.
+        breaker_reset: Seconds before an open breaker admits a probe.
+        job_deadline: Watchdog budget for one job, in seconds
+            (``None`` disables the watchdog).
+        job_runner: Callable executing one job —
+            ``(points, workload, processes, retry, checkpoint,
+            metrics, tracer) -> SweepOutcome``; defaults to
+            :func:`~repro.experiments.runner.run_sweep_job`. Tests
+            inject stubs to drive the control plane without pools.
+        metrics: Registry for every ``service.*`` instrument;
+            defaults to the process-global registry.
+        tracer: Tracer receiving one ``service_job`` span per job.
+    """
+
+    def __init__(
+        self,
+        workload=None,
+        spool_dir="repro-serve-spool",
+        queue_size: int = 16,
+        high_watermark: Optional[int] = None,
+        low_watermark: Optional[int] = None,
+        retry_after: float = 1.0,
+        max_probe_budget: Optional[int] = None,
+        workers: int = 1,
+        processes: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
+        job_deadline: Optional[float] = None,
+        job_runner: Optional[Callable[..., Any]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.workload = (
+            workload if workload is not None else default_workload()
+        )
+        self.spool_dir = Path(spool_dir)
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.queue = BoundedJobQueue(
+            queue_size,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+            retry_after=retry_after,
+            metrics=self.metrics,
+        )
+        self.admission = AdmissionController(
+            self.workload,
+            max_probe_budget=max_probe_budget,
+            metrics=self.metrics,
+        )
+        self.ingest_breaker = CircuitBreaker(
+            "ingest",
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+            metrics=self.metrics,
+        )
+        self.execute_breaker = CircuitBreaker(
+            "execute",
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+            metrics=self.metrics,
+        )
+        self.watchdog: Optional[Watchdog] = None
+        if job_deadline is not None:
+            self.watchdog = Watchdog(
+                job_deadline,
+                interval=min(1.0, max(0.05, job_deadline / 4)),
+                on_stall=self._on_stall,
+                metrics=self.metrics,
+            )
+        self.processes = processes
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.job_runner = (
+            job_runner if job_runner is not None else self._default_runner
+        )
+        self._workers_requested = max(1, workers)
+        self._jobs: Dict[str, Job] = {}
+        self._jobs_lock = threading.Lock()
+        self._job_counter = 0
+        self._threads: List[threading.Thread] = []
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Start the worker threads and the watchdog."""
+        if self._threads:
+            return
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        for index in range(self._workers_requested):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}",),
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.watchdog is not None:
+            self.watchdog.start()
+        log.info(
+            f"service started: {self._workers_requested} worker(s), "
+            f"queue capacity {self.queue.capacity}"
+        )
+
+    def drain(self, grace: float = 30.0) -> bool:
+        """Gracefully drain: stop admitting, finish or abandon jobs.
+
+        Closes the queue (new submissions get 429), waits up to
+        ``grace`` seconds for the workers to finish the backlog, then
+        marks any still-running job ``checkpointed`` — its completed
+        points are already durable in the spool checkpoint, so a later
+        submission of the same points resumes instead of recomputing.
+        Finally writes the service manifest and metrics snapshot.
+
+        Returns ``True`` when every worker finished inside the grace
+        period (a *clean* drain), ``False`` when a job had to be
+        abandoned to its checkpoint.
+        """
+        self._draining.set()
+        self.queue.close()
+        deadline = time.monotonic() + grace
+        clean = True
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            thread.join(timeout=max(0.0, remaining))
+            if thread.is_alive():
+                clean = False
+        if not clean:
+            with self._jobs_lock:
+                for job in self._jobs.values():
+                    if job.status == "running":
+                        job.status = "checkpointed"
+                        job.finished_unix = time.time()
+                        log.warning(
+                            "service.job_abandoned_to_checkpoint",
+                            job=job.id,
+                            checkpoint=job.checkpoint_path,
+                        )
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        self.write_obs()
+        self._stopped.set()
+        log.info(
+            f"service drained ({'clean' if clean else 'checkpointed'}): "
+            f"{len(self._jobs)} job(s) processed"
+        )
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain has started."""
+        return self._draining.is_set()
+
+    def ready(self) -> "tuple[bool, str]":
+        """Readiness verdict: ``(ready, reason)``.
+
+        Not ready while draining or while the execute breaker is open
+        — the two states in which accepting work would be a lie.
+        """
+        if self.draining:
+            return False, "draining"
+        if self.execute_breaker.state == OPEN:
+            return False, "execute breaker open"
+        return True, "ok"
+
+    # ------------------------------------------------------------------
+    # submission path
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit, enqueue, and register one job; returns its record.
+
+        Raises:
+            AdmissionError: Malformed payload or blown probe budget.
+            QueueFullError: Queue saturated or service draining.
+            CircuitOpenError: The ingest breaker is open after
+                repeated submission-path crashes.
+        """
+        self.ingest_breaker.allow()
+        try:
+            points, config = self.admission.admit(payload)
+            job = self._register(points, config)
+            try:
+                self.queue.offer(job)
+            except QueueFullError:
+                self._unregister(job.id)
+                raise
+        except (AdmissionError, QueueFullError):
+            # Client-side rejections are not ingest failures: a burst
+            # of bad requests must not open the breaker and take the
+            # service down for well-formed ones.
+            self.ingest_breaker.record_success()
+            raise
+        except Exception as exc:
+            self.ingest_breaker.record_failure(exc)
+            raise
+        self.ingest_breaker.record_success()
+        log.info(
+            f"job {job.id} queued: {len(points)} point(s), "
+            f"~{config['estimated_probes']} probes"
+        )
+        return job.to_dict()
+
+    def job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The record of ``job_id``, or ``None`` if unknown."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+            return job.to_dict() if job is not None else None
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job record, oldest first."""
+        with self._jobs_lock:
+            return [job.to_dict() for job in self._jobs.values()]
+
+    def status(self) -> Dict[str, Any]:
+        """Operational snapshot for ``/metrics``: queue, breakers, jobs."""
+        ready, reason = self.ready()
+        with self._jobs_lock:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "ready": ready,
+            "reason": reason,
+            "draining": self.draining,
+            "queue": self.queue.snapshot(),
+            "breakers": {
+                "ingest": self.ingest_breaker.snapshot(),
+                "execute": self.execute_breaker.snapshot(),
+            },
+            "jobs": by_status,
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # execution path
+
+    def _default_runner(self, job: Job):
+        """Execute ``job`` on the resilient pool with its checkpoint."""
+        return run_sweep_job(
+            job.points,
+            workload=self.workload,
+            processes=self.processes,
+            retry=self.retry,
+            checkpoint=job.checkpoint_path,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+
+    def _worker_loop(self, worker_id: str) -> None:
+        """One worker: take jobs until the queue closes and empties."""
+        while True:
+            job = self.queue.take(timeout=0.2)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            try:
+                self.execute_breaker.allow()
+            except CircuitOpenError:
+                # Queued work waits for the breaker, it is not failed:
+                # requeue at the front and back off until a probe is
+                # admitted.
+                self.queue.requeue(job)
+                time.sleep(min(0.2, self.execute_breaker.reset_timeout))
+                continue
+            self._execute(worker_id, job)
+
+    def _execute(self, worker_id: str, job: Job) -> None:
+        """Run one admitted job through the execute breaker."""
+        job.status = "running"
+        job.started_unix = time.time()
+        if self.watchdog is not None:
+            self.watchdog.beat(worker_id, busy=True)
+        try:
+            with self.tracer.span("service_job", job=job.id):
+                outcome = self.job_runner(job)
+        except Exception as exc:
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            self.execute_breaker.record_failure(exc)
+            self.metrics.counter("service.jobs.failed").inc()
+            log.error(f"job {job.id} failed: {job.error}")
+        else:
+            self._finish(job, outcome)
+        finally:
+            job.finished_unix = time.time()
+            if self.watchdog is not None:
+                self.watchdog.beat(worker_id, busy=False)
+
+    def _finish(self, job: Job, outcome) -> None:
+        """Fold a completed outcome into the job record and breaker."""
+        job.summary = {
+            "completed": outcome.completed(),
+            "failed": len(outcome.failures),
+            "resumed": outcome.resumed,
+            "retries": outcome.retries,
+            "pool_restarts": outcome.pool_restarts,
+            "timeouts": outcome.timeouts,
+        }
+        if outcome.failures:
+            job.status = "partial"
+            job.error = outcome.failures[0].to_dict()["error"]
+            self.execute_breaker.record_failure(outcome.failures[0])
+            self.metrics.counter("service.jobs.partial").inc()
+            log.warning(
+                "service.job_partial",
+                job=job.id,
+                completed=outcome.completed(),
+                failed=len(outcome.failures),
+            )
+        else:
+            job.status = "done"
+            self.execute_breaker.record_success()
+            self.metrics.counter("service.jobs.done").inc()
+            log.info(
+                f"job {job.id} done: {outcome.completed()} point(s)"
+                + (f", {outcome.resumed} resumed" if outcome.resumed else "")
+            )
+
+    def _on_stall(self, worker_id: str, busy_seconds: float) -> None:
+        """Watchdog verdict: a hung job counts as an execute failure."""
+        self.execute_breaker.record_failure(
+            PointFailure(
+                key=worker_id,
+                kind="timeout",
+                error_type="SweepTimeoutError",
+                message=(
+                    f"worker {worker_id} busy {busy_seconds:.1f}s, past the "
+                    "job deadline (hung pool?)"
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # registry and provenance
+
+    def _register(self, points, config: Dict[str, Any]) -> Job:
+        with self._jobs_lock:
+            self._job_counter += 1
+            job_id = f"job-{self._job_counter:06d}-{uuid.uuid4().hex[:8]}"
+            job = Job(job_id, points, config)
+            # Checkpoints are keyed by config hash, not job id: a
+            # resubmission of the same points (after a drain, a partial
+            # failure, or a crash) resumes the previous job's completed
+            # points instead of recomputing them.
+            job.checkpoint_path = str(
+                self.spool_dir / f"{config['config_hash']}.ckpt"
+            )
+            self._jobs[job_id] = job
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        return job
+
+    def _unregister(self, job_id: str) -> None:
+        with self._jobs_lock:
+            self._jobs.pop(job_id, None)
+
+    def write_obs(self, obs_dir=None) -> RunManifest:
+        """Write the service manifest + trace (called on drain).
+
+        The manifest's ``phases`` block carries the ``service_job``
+        span aggregation; its config records every job's identity and
+        final status, so a drained daemon leaves the same provenance
+        trail as a batch run.
+        """
+        obs_dir = Path(obs_dir) if obs_dir is not None else self.spool_dir
+        manifest = RunManifest.build(
+            tool="repro-serve",
+            config={
+                "workload": describe_workload(self.workload),
+                "jobs": [job.to_dict() for job in self._jobs.values()],
+                "queue": self.queue.snapshot(),
+            },
+            workload=self.workload,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            failures=[
+                {"error": job.error}
+                for job in self._jobs.values()
+                if job.error
+            ],
+        )
+        manifest.write(obs_dir / "manifest.json")
+        self.tracer.write_jsonl(obs_dir / "trace.jsonl")
+        return manifest
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the service's HTTP API; one instance per request."""
+
+    #: Quiet down the default per-request stderr lines.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SimulationService:
+        """The owning server's service core."""
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Route request logs through the structured logger (debug)."""
+        log.debug("service.http", line=format % args)
+
+    def _send_json(
+        self, code: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve /healthz, /readyz, /metrics, /jobs, /jobs/<id>."""
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif path == "/readyz":
+            ready, reason = self.service.ready()
+            self._send_json(
+                200 if ready else 503, {"ready": ready, "reason": reason}
+            )
+        elif path == "/metrics":
+            self._send_json(200, self.service.status())
+        elif path == "/jobs":
+            self._send_json(200, {"jobs": self.service.jobs()})
+        elif path.startswith("/jobs/"):
+            record = self.service.job(path[len("/jobs/"):])
+            if record is None:
+                self._send_json(404, {"error": "no such job"})
+            else:
+                self._send_json(200, record)
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Serve POST /jobs: admit + enqueue, mapping errors to codes."""
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/jobs":
+            self._send_json(404, {"error": f"no route {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"bad JSON body: {exc}"})
+            return
+        try:
+            record = self.service.submit(payload)
+        except QueueFullError as exc:
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{max(1, round(exc.retry_after))}"},
+            )
+        except CircuitOpenError as exc:
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{max(1, round(exc.retry_after))}"},
+            )
+        except AdmissionError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(202, record)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to a :class:`SimulationService`.
+
+    Binds eagerly (port 0 picks a free port — tests use this), serves
+    on :meth:`serve_forever` until :meth:`shutdown`.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, service: SimulationService, host: str, port: int):
+        self.service = service
+        super().__init__((host, port), _ServiceHandler)
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound (host, port) pair."""
+        return self.server_address[0], self.server_address[1]
+
+
+def serve_in_thread(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> "tuple[ServiceHTTPServer, threading.Thread]":
+    """Start the HTTP server on a daemon thread; returns both handles.
+
+    The embedding entry point (tests, notebooks): the caller owns
+    ``server.shutdown()`` and the service's :meth:`drain`.
+    """
+    server = ServiceHTTPServer(service, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server, thread

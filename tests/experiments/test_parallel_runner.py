@@ -153,3 +153,89 @@ def test_split_stream_at_flushes_partitions_events():
     assert recombined == [e for e in stream.events if e != FLUSH_MARKER]
     assert segments[0].processor_references == stream.processor_references
     assert all(s.processor_references == 0 for s in segments[1:])
+
+
+class TestStuckProgressDrainer:
+    """Regression guard: a wedged drainer warns and never blocks exit."""
+
+    def test_stuck_drainer_warns_and_pool_results_survive(self, monkeypatch):
+        import threading
+
+        from repro.experiments import runner as runner_module
+
+        workload = AtumWorkload(
+            segments=2, references_per_segment=2_000, seed=19
+        )
+        sweep = ParallelSweepRunner(workload, processes=2)
+        points = [
+            SweepPoint("4K-16", "64K-32", 2),
+            SweepPoint("8K-16", "64K-32", 2),
+        ]
+        by_l1 = {}
+        for index, point in enumerate(points):
+            by_l1.setdefault(point.l1, []).append((index, point))
+        shards = [
+            (shard_index, workload, sweep.use_engine, group)
+            for shard_index, group in enumerate(by_l1.values())
+        ]
+
+        class StuckReporter:
+            """Enabled reporter whose drain thread never consumes."""
+
+            enabled = True
+            finished_count = 0
+            total = len(shards)
+
+            def drain(self, queue):
+                release = threading.Event()
+                thread = threading.Thread(
+                    target=release.wait, daemon=True
+                )
+                thread.start()
+                self.release = release
+                return thread
+
+        warnings = []
+        monkeypatch.setattr(
+            runner_module.log,
+            "warning",
+            lambda message, **fields: warnings.append((message, fields)),
+        )
+        monkeypatch.setattr(runner_module, "_DRAINER_JOIN_TIMEOUT", 0.1)
+        reporter = StuckReporter()
+        outputs = sweep._run_pool(shards, 2, reporter)
+        reporter.release.set()  # unblock the stub thread
+        # The sweep's results are intact despite the wedged drainer...
+        assert len(outputs) == len(shards)
+        # ...the structured warning names the condition...
+        assert [message for message, _ in warnings] == [
+            "sweep.progress_drainer_stuck"
+        ]
+        assert warnings[0][1]["joined_timeout_s"] == 0.1
+        # ...and the progress queue was detached for the next sweep.
+        assert runner_module._PROGRESS_QUEUE is None
+
+    def test_healthy_drainer_does_not_warn(self, monkeypatch):
+        from repro.experiments import runner as runner_module
+        from repro.obs.progress import ProgressReporter
+
+        import io as io_module
+
+        workload = AtumWorkload(
+            segments=2, references_per_segment=2_000, seed=19
+        )
+        sweep = ParallelSweepRunner(workload, processes=2)
+        point = SweepPoint("4K-16", "64K-32", 2)
+        shards = [(0, workload, sweep.use_engine, [(0, point)])]
+        warnings = []
+        monkeypatch.setattr(
+            runner_module.log,
+            "warning",
+            lambda message, **fields: warnings.append(message),
+        )
+        reporter = ProgressReporter(
+            total=1, enabled=True, stream=io_module.StringIO()
+        )
+        outputs = sweep._run_pool(shards, 2, reporter)
+        assert len(outputs) == 1
+        assert warnings == []

@@ -97,3 +97,89 @@ class TestFailurePaths:
         payload = read_out(tmp_path)
         assert payload["retries"] >= 1
         assert payload["failures"] == []
+
+
+class TestInterrupt:
+    """SIGTERM/SIGINT mid-sweep: checkpoint survives, exit is partial."""
+
+    def _interrupt_when_checkpointed(self, checkpoint, signum):
+        """Fire ``signum`` at this process once one result is durable."""
+        import os
+        import signal as signal_module
+        import threading
+        import time
+
+        def fire():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if (
+                    checkpoint.exists()
+                    and '"kind": "result"' in checkpoint.read_text()
+                ):
+                    break
+                time.sleep(0.05)
+            os.kill(os.getpid(), signum)
+
+        thread = threading.Thread(target=fire, daemon=True)
+        thread.start()
+        return thread
+
+    @pytest.mark.parametrize("signame", ["SIGTERM", "SIGINT"])
+    def test_signal_mid_sweep_exits_partial_with_durable_checkpoint(
+        self, tmp_path, monkeypatch, signame
+    ):
+        import signal as signal_module
+
+        from repro.resilience.checkpoint import SweepCheckpoint
+
+        signum = getattr(signal_module, signame)
+        previous = signal_module.getsignal(signum)
+        # Point 1 hangs far longer than the test: the signal always
+        # lands mid-sweep, after point 0 has been checkpointed.
+        monkeypatch.setenv(ENV_VAR, "hang@1:seconds=300")
+        checkpoint = tmp_path / "sweep.ckpt"
+        thread = self._interrupt_when_checkpointed(checkpoint, signum)
+        code = main(
+            base_args(
+                tmp_path,
+                "--checkpoint", str(checkpoint),
+                "--failure-policy", "collect",
+            )
+        )
+        thread.join(timeout=10.0)
+        assert code == EXIT_PARTIAL
+        # The completed point is durable, and the handler was restored.
+        assert len(SweepCheckpoint(checkpoint).load()) >= 1
+        assert signal_module.getsignal(signum) == previous
+
+    def test_resume_finishes_an_interrupted_sweep(
+        self, tmp_path, monkeypatch
+    ):
+        import signal as signal_module
+
+        monkeypatch.setenv(ENV_VAR, "hang@1:seconds=300")
+        checkpoint = tmp_path / "sweep.ckpt"
+        thread = self._interrupt_when_checkpointed(
+            checkpoint, signal_module.SIGTERM
+        )
+        assert (
+            main(
+                base_args(
+                    tmp_path,
+                    "--checkpoint", str(checkpoint),
+                    "--failure-policy", "collect",
+                )
+            )
+            == EXIT_PARTIAL
+        )
+        thread.join(timeout=10.0)
+        monkeypatch.delenv(ENV_VAR)
+        code = main(
+            base_args(
+                tmp_path, "--checkpoint", str(checkpoint), "--resume"
+            )
+        )
+        assert code == 0
+        payload = read_out(tmp_path)
+        assert payload["resumed"] >= 1
+        assert all(p["result"] is not None for p in payload["points"])

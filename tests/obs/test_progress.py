@@ -76,3 +76,32 @@ class TestQueueDraining:
         assert not thread.is_alive()
         assert reporter.finished_count == 1
         assert "shard 1/2 finished" in stream.getvalue()
+
+
+class TestDrainerLifecycle:
+    def test_drain_thread_is_daemon(self):
+        """A wedged drainer can never block interpreter exit."""
+        import queue as queue_module
+
+        reporter = ProgressReporter(total=2, enabled=True, stream=io.StringIO())
+        queue = queue_module.SimpleQueue()  # no sentinel: thread stays alive
+        thread = reporter.drain(queue)
+        try:
+            assert thread.daemon is True
+            assert thread.is_alive()
+        finally:
+            queue.put(None)
+            thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+    def test_drain_exits_promptly_on_sentinel(self):
+        import queue as queue_module
+
+        reporter = ProgressReporter(total=1, enabled=True, stream=io.StringIO())
+        queue = queue_module.SimpleQueue()
+        thread = reporter.drain(queue)
+        queue.put(("finished", 0, "shard"))
+        queue.put(None)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert reporter.finished_count == 1

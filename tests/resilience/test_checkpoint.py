@@ -140,3 +140,85 @@ class TestIdentityChecks:
             handle.write('{"kind": "mystery"}\n')
         with pytest.raises(CheckpointError, match="record kind"):
             SweepCheckpoint(path, config_hash="h").load()
+
+
+class TestAdvisoryLock:
+    def test_second_writer_fails_fast(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        first = SweepCheckpoint(path, config_hash="h")
+        first.record("sig-1", 1)
+        second = SweepCheckpoint(path, config_hash="h")
+        with pytest.raises(CheckpointError, match="locked by another"):
+            second.record("sig-2", 2)
+        first.close()
+
+    def test_close_releases_the_lock(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        first = SweepCheckpoint(path, config_hash="h")
+        first.record("sig-1", 1)
+        first.close()
+        assert not first.lock_path.exists()
+        second = SweepCheckpoint(path, config_hash="h")
+        second.load()
+        second.record("sig-2", 2)
+        second.close()
+        assert SweepCheckpoint(path).load() == {"sig-1": 1, "sig-2": 2}
+
+    def test_stale_lock_from_dead_pid_is_stolen(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        checkpoint = SweepCheckpoint(path, config_hash="h")
+        # Forge a lockfile naming a PID that cannot exist anymore.
+        checkpoint.lock_path.write_text("999999999\n")
+        checkpoint.record("sig", 1)  # steals the stale lock
+        checkpoint.close()
+        assert SweepCheckpoint(path).load() == {"sig": 1}
+
+    def test_unreadable_lockfile_treated_as_stale(self, tmp_path):
+        path = tmp_path / "s.ckpt"
+        checkpoint = SweepCheckpoint(path, config_hash="h")
+        checkpoint.lock_path.write_text("not-a-pid\n")
+        checkpoint.record("sig", 1)
+        checkpoint.close()
+
+    def test_live_holder_in_another_process_blocks(self, tmp_path):
+        """Two *processes* cannot append to one checkpoint concurrently."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "s.ckpt"
+        script = (
+            "import sys\n"
+            "from repro.resilience.checkpoint import SweepCheckpoint\n"
+            "checkpoint = SweepCheckpoint(sys.argv[1], config_hash='h')\n"
+            "checkpoint.record('sig-child', 1)\n"
+            "print('LOCKED', flush=True)\n"
+            "sys.stdin.readline()\n"  # hold the lock until told to stop
+            "checkpoint.close()\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            text=True,
+        )
+        try:
+            assert child.stdout.readline().strip() == "LOCKED"
+            mine = SweepCheckpoint(path, config_hash="h")
+            mine.load()
+            with pytest.raises(CheckpointError, match="locked by another"):
+                mine.record("sig-parent", 2)
+        finally:
+            child.communicate(input="done\n", timeout=30)
+        assert child.returncode == 0
+        # With the child gone the lock is free again.
+        after = SweepCheckpoint(path, config_hash="h")
+        after.load()
+        after.record("sig-parent", 2)
+        after.close()
+        assert SweepCheckpoint(path).load() == {
+            "sig-child": 1,
+            "sig-parent": 2,
+        }

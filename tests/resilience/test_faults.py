@@ -154,3 +154,84 @@ class TestSpecLanguage:
     def test_bad_specs_rejected(self, raw):
         with pytest.raises(ConfigurationError):
             parse_spec(raw)
+
+
+class TestSpecEdgeCases:
+    def test_empty_plan_string_is_inert(self):
+        plan = parse_plan("")
+        assert plan.specs == []
+        plan.before(0, 1)  # no spec, no fault
+        assert plan.transform(0, 1, "x") == "x"
+
+    def test_whitespace_and_empty_segments_skipped(self):
+        plan = parse_plan(" ; raise@1 ;; ")
+        assert [spec.kind for spec in plan.specs] == ["raise"]
+
+    def test_empty_spec_segment_alone_rejected(self):
+        # parse_spec itself (unlike parse_plan, which filters empties)
+        # must not silently accept an empty action.
+        with pytest.raises(ConfigurationError, match="fault kind"):
+            parse_spec("")
+
+    def test_unknown_action_names_the_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_spec("explode@1")
+        assert "raise" in str(excinfo.value)
+
+    def test_duplicate_point_attempt_first_spec_wins(self):
+        # Two specs matching the same (point, attempt): deterministic
+        # resolution is declaration order, so the first firing spec
+        # decides the outcome regardless of duplicates after it.
+        plan = parse_plan("raise@1;exit@1:code=9")
+        with pytest.raises(InjectedFaultError):
+            plan.before(1, 1)
+
+    def test_duplicate_corrupt_specs_first_wins(self):
+        first = FaultSpec("corrupt", at=1, corruptor=lambda r: "first")
+        second = FaultSpec("corrupt", at=1, corruptor=lambda r: "second")
+        plan = FaultPlan([first, second])
+        assert plan.transform(1, 1, "real") == "first"
+
+    def test_duplicate_attempt_values_in_spec_collapse(self):
+        spec = parse_spec("raise@1:attempts=1+1+2")
+        assert spec.attempts == frozenset({1, 2})
+
+    def test_spec_round_trips_across_a_spawned_process(self, tmp_path):
+        """The env-var plan parses identically in a fresh interpreter."""
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        raw = "raise@2:attempts=1+3,seed=5;hang@4:seconds=60;exit@0:code=7"
+        script = (
+            "import json\n"
+            "from repro.resilience.faults import active_plan\n"
+            "plan = active_plan()\n"
+            "print(json.dumps([\n"
+            "    {'kind': s.kind, 'at': s.at,\n"
+            "     'attempts': sorted(s.attempts) if s.attempts else None,\n"
+            "     'seed': s.seed, 'seconds': s.seconds,\n"
+            "     'exit_code': s.exit_code}\n"
+            "    for s in plan.specs\n"
+            "]))\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env={ENV_VAR: raw, "PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        specs = json.loads(result.stdout)
+        assert specs == [
+            {"kind": "raise", "at": 2, "attempts": [1, 3], "seed": 5,
+             "seconds": 3600.0, "exit_code": 1},
+            {"kind": "hang", "at": 4, "attempts": None, "seed": 0,
+             "seconds": 60.0, "exit_code": 1},
+            {"kind": "exit", "at": 0, "attempts": None, "seed": 0,
+             "seconds": 3600.0, "exit_code": 7},
+        ]

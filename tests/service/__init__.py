@@ -1,0 +1,1 @@
+"""Tests for the resilient simulation service (``repro.service``)."""

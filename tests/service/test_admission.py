@@ -1,0 +1,112 @@
+"""Admission control: shape validation, probe budget, config identity."""
+
+import pytest
+
+from repro.errors import AdmissionError, ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.admission import (
+    AdmissionController,
+    estimate_probe_count,
+    parse_points,
+)
+
+
+class Workload:
+    """Stub with the two attributes the cost model reads."""
+
+    segments = 2
+    references_per_segment = 1_000
+
+
+def payload(n=1):
+    return {
+        "points": [
+            {"l1": "4K-16", "l2": "64K-32", "associativity": 2 + 2 * i}
+            for i in range(n)
+        ]
+    }
+
+
+def make_controller(**kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return AdmissionController(Workload(), **kwargs)
+
+
+class TestParsePoints:
+    def test_valid_points(self):
+        points = parse_points(payload(2)["points"])
+        assert [p.associativity for p in points] == [2, 4]
+        assert points[0].l1 == "4K-16"
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(AdmissionError, match="non-empty"):
+            parse_points([])
+
+    def test_non_list_rejected(self):
+        with pytest.raises(AdmissionError):
+            parse_points({"l1": "4K-16"})
+
+    def test_missing_field_names_the_index(self):
+        with pytest.raises(AdmissionError, match=r"points\[1\]"):
+            parse_points(
+                [payload()["points"][0], {"l1": "4K-16", "l2": "64K-32"}]
+            )
+
+    def test_bad_geometry_rejected_at_admission(self):
+        with pytest.raises(AdmissionError, match="geometry"):
+            parse_points([{"l1": "huge", "l2": "64K-32", "associativity": 2}])
+
+    def test_bad_associativity_rejected(self):
+        with pytest.raises(AdmissionError, match="associativity"):
+            parse_points([{"l1": "4K-16", "l2": "64K-32", "associativity": 0}])
+
+
+class TestEstimate:
+    def test_references_times_points(self):
+        points = parse_points(payload(3)["points"])
+        assert estimate_probe_count(Workload(), points) == 2 * 1_000 * 3
+
+
+class TestAdmit:
+    def test_admitted_config_carries_identity(self):
+        points, config = make_controller().admit(payload(2))
+        assert len(points) == 2
+        assert config["estimated_probes"] == 4_000
+        assert len(config["config_hash"]) > 8
+        assert len(config["points"]) == 2
+
+    def test_config_hash_is_content_addressed(self):
+        controller = make_controller()
+        _, first = controller.admit(payload(2))
+        _, again = controller.admit(payload(2))
+        _, other = controller.admit(payload(1))
+        assert first["config_hash"] == again["config_hash"]
+        assert first["config_hash"] != other["config_hash"]
+
+    def test_budget_rejects_oversized_jobs(self):
+        controller = make_controller(max_probe_budget=3_000)
+        controller.admit(payload(1))  # 2000 probes: fits
+        with pytest.raises(AdmissionError, match="budget"):
+            controller.admit(payload(2))  # 4000 probes: rejected
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(AdmissionError):
+            make_controller().admit(["not", "a", "dict"])
+
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_controller(max_probe_budget=0)
+
+    def test_metrics_count_verdicts(self):
+        metrics = MetricsRegistry()
+        controller = AdmissionController(
+            Workload(), max_probe_budget=3_000, metrics=metrics
+        )
+        controller.admit(payload(1))
+        with pytest.raises(AdmissionError):
+            controller.admit(payload(2))
+        with pytest.raises(AdmissionError):
+            controller.admit({"points": []})
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.admission.accepted"] == 1
+        assert counters["service.admission.rejected"] == 2

@@ -1,0 +1,174 @@
+"""Circuit breaker state machine: trip, reject, probe, recover."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.policy import PointFailure
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    STATE_CODES,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(**kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("clock", FakeClock())
+    return CircuitBreaker("test", **kwargs)
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self):
+        breaker = make_breaker()
+        assert breaker.state == CLOSED
+        breaker.allow()  # does not raise
+
+    def test_success_resets_failure_streak(self):
+        breaker = make_breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak broken, never reached 2
+
+    def test_consecutive_failures_trip_it(self):
+        breaker = make_breaker(failure_threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_breaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            make_breaker(reset_timeout=-1)
+
+
+class TestOpen:
+    def test_open_rejects_with_retry_after(self):
+        clock = FakeClock()
+        breaker = make_breaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_half_opens_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_retains_last_failures_for_postmortem(self):
+        breaker = make_breaker(failure_threshold=2)
+        breaker.record_failure(ValueError("first"))
+        breaker.record_failure(
+            PointFailure(
+                key=1, kind="crash", error_type="BrokenProcessPool",
+                message="died",
+            )
+        )
+        last = breaker.snapshot()["last_failures"]
+        assert len(last) == 2
+        assert last[0]["error_type"] == "ValueError"
+        assert last[1]["error_type"] == "BrokenProcessPool"
+
+
+class TestHalfOpen:
+    def make_half_open(self, **kwargs):
+        clock = FakeClock()
+        breaker = make_breaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock, **kwargs
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        return breaker
+
+    def test_probe_success_closes(self):
+        breaker = self.make_half_open()
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = self.make_half_open()
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_probe_limit_rejects_extra_calls(self):
+        breaker = self.make_half_open(probe_limit=1)
+        breaker.allow()  # the one admitted probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+    def test_success_threshold_requires_multiple_probes(self):
+        breaker = self.make_half_open(success_threshold=2, probe_limit=2)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+
+class TestCall:
+    def test_call_records_success(self):
+        breaker = make_breaker(failure_threshold=1)
+        assert breaker.call(lambda: 42) == 42
+        assert breaker.state == CLOSED
+
+    def test_call_records_failure_and_reraises(self):
+        breaker = make_breaker(failure_threshold=1)
+        with pytest.raises(ValueError):
+            breaker.call(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        assert breaker.state == OPEN
+
+
+class TestMetrics:
+    def test_metric_names_and_state_gauge(self):
+        metrics = MetricsRegistry()
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            "execute",
+            failure_threshold=1,
+            reset_timeout=5.0,
+            metrics=metrics,
+            clock=clock,
+        )
+        breaker.allow()
+        breaker.record_failure()
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        snapshot = metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["resilience.breaker.execute.opened"] == 1
+        assert counters["resilience.breaker.execute.failures"] == 1
+        assert counters["resilience.breaker.execute.rejected"] == 1
+        assert (
+            snapshot["gauges"]["resilience.breaker.execute.state"]
+            == STATE_CODES[OPEN]
+        )

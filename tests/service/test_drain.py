@@ -1,0 +1,140 @@
+"""Drain coordinator (two-phase signals) and worker watchdog."""
+
+import signal
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.drain import HARD_EXIT_CODE, DrainCoordinator, Watchdog
+
+
+class TestDrainCoordinator:
+    def test_first_signal_sets_draining_and_runs_callbacks(self):
+        calls = []
+        coordinator = DrainCoordinator(
+            on_drain=[lambda: calls.append("a")],
+            hard_exit=lambda code: calls.append(("exit", code)),
+        )
+        coordinator.add_callback(lambda: calls.append("b"))
+        assert not coordinator.draining
+        coordinator.handle(signal.SIGTERM)
+        assert coordinator.draining
+        assert calls == ["a", "b"]
+
+    def test_second_signal_hard_exits_130(self):
+        exits = []
+        coordinator = DrainCoordinator(hard_exit=exits.append)
+        coordinator.handle(signal.SIGTERM)
+        assert exits == []
+        coordinator.handle(signal.SIGINT)
+        assert exits == [HARD_EXIT_CODE]
+        assert HARD_EXIT_CODE == 130
+
+    def test_callbacks_run_once(self):
+        calls = []
+        coordinator = DrainCoordinator(
+            on_drain=[lambda: calls.append(1)], hard_exit=lambda code: None
+        )
+        coordinator.handle(signal.SIGTERM)
+        coordinator.handle(signal.SIGTERM)
+        assert calls == [1]
+
+    def test_request_drain_is_programmatic_first_signal(self):
+        coordinator = DrainCoordinator(hard_exit=lambda code: None)
+        coordinator.request_drain()
+        assert coordinator.draining
+        assert coordinator.wait(timeout=0.01)
+
+    def test_wait_blocks_until_drain(self):
+        coordinator = DrainCoordinator(hard_exit=lambda code: None)
+        assert not coordinator.wait(timeout=0.01)
+        timer = threading.Timer(0.05, coordinator.request_drain)
+        timer.start()
+        assert coordinator.wait(timeout=2.0)
+        timer.join()
+
+    def test_install_uninstall_restores_handlers(self):
+        before = signal.getsignal(signal.SIGTERM)
+        coordinator = DrainCoordinator(hard_exit=lambda code: None)
+        coordinator.install(signals=(signal.SIGTERM,))
+        assert signal.getsignal(signal.SIGTERM) == coordinator.handle
+        coordinator.uninstall()
+        assert signal.getsignal(signal.SIGTERM) == before
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestWatchdog:
+    def make(self, deadline=10.0, **kwargs):
+        clock = FakeClock()
+        stalls = []
+        watchdog = Watchdog(
+            deadline,
+            on_stall=lambda worker, busy: stalls.append((worker, busy)),
+            metrics=kwargs.pop("metrics", MetricsRegistry()),
+            clock=clock,
+            **kwargs,
+        )
+        return watchdog, clock, stalls
+
+    def test_busy_within_deadline_not_flagged(self):
+        watchdog, clock, stalls = self.make(deadline=10.0)
+        watchdog.beat("w0", busy=True)
+        clock.advance(9.0)
+        assert watchdog.check() == []
+        assert stalls == []
+
+    def test_stall_flagged_past_deadline(self):
+        watchdog, clock, stalls = self.make(deadline=10.0)
+        watchdog.beat("w0", busy=True)
+        clock.advance(11.0)
+        assert watchdog.check() == ["w0"]
+        assert stalls == [("w0", 11.0)]
+
+    def test_stall_flagged_once_per_job(self):
+        watchdog, clock, stalls = self.make(deadline=10.0)
+        watchdog.beat("w0", busy=True)
+        clock.advance(11.0)
+        watchdog.check()
+        clock.advance(5.0)
+        assert watchdog.check() == []
+        assert len(stalls) == 1
+
+    def test_finishing_clears_the_flag_for_next_job(self):
+        watchdog, clock, stalls = self.make(deadline=10.0)
+        watchdog.beat("w0", busy=True)
+        clock.advance(11.0)
+        watchdog.check()
+        watchdog.beat("w0", busy=False)
+        watchdog.beat("w0", busy=True)  # a new job restarts the clock
+        clock.advance(11.0)
+        assert watchdog.check() == ["w0"]
+        assert len(stalls) == 2
+
+    def test_metrics(self):
+        metrics = MetricsRegistry()
+        watchdog, clock, _ = self.make(deadline=1.0, metrics=metrics)
+        watchdog.beat("w0", busy=True)
+        assert (
+            metrics.snapshot()["gauges"]["service.watchdog.busy_workers"] == 1
+        )
+        clock.advance(2.0)
+        watchdog.check()
+        assert (
+            metrics.snapshot()["counters"]["service.watchdog.stalls"] == 1
+        )
+
+    def test_thread_start_stop(self):
+        watchdog, _, _ = self.make(deadline=10.0, interval=0.01)
+        watchdog.start()
+        watchdog.start()  # idempotent
+        watchdog.stop()
+        assert watchdog._thread is None

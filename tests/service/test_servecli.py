@@ -1,0 +1,132 @@
+"""``repro-serve`` end to end: serve, submit, shed, drain on SIGTERM."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs.manifest import RunManifest
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+PAYLOAD = json.dumps(
+    {"points": [{"l1": "4K-16", "l2": "64K-32", "associativity": 2}]}
+).encode("utf-8")
+
+
+def start_server(tmp_path, *extra_args):
+    """Launch repro-serve on a free port; returns (process, base_url)."""
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, REPRO_LOG="info")
+    env.pop("REPRO_FAULTS", None)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.service.servecli",
+            "--port", "0",
+            "--scale", "0.002",
+            "--processes", "2",
+            "--spool-dir", str(tmp_path / "spool"),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        cwd=tmp_path,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    lines = []
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            pytest.fail(f"repro-serve exited early:\n{''.join(lines)}")
+        lines.append(line)
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if match:
+            return process, match.group(1)
+    process.kill()
+    pytest.fail(f"repro-serve never reported its port:\n{''.join(lines)}")
+
+
+def get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post_job(base, body=PAYLOAD):
+    request = urllib.request.Request(base + "/jobs", data=body, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def finish(process, timeout=60):
+    try:
+        output, _ = process.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        output, _ = process.communicate()
+        pytest.fail(f"repro-serve did not exit:\n{output}")
+    return process.returncode, output
+
+
+class TestServeCli:
+    def test_serve_submit_drain(self, tmp_path):
+        process, base = start_server(tmp_path)
+        try:
+            status, body = get(base, "/readyz")
+            assert (status, body["ready"]) == (200, True)
+            assert get(base, "/healthz")[0] == 200
+
+            status, record = post_job(base)
+            assert status == 202
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                job = get(base, f"/jobs/{record['id']}")[1]
+                if job["status"] in ("done", "partial", "failed"):
+                    break
+                time.sleep(0.2)
+            assert job["status"] == "done"
+            assert job["summary"]["completed"] == 1
+        finally:
+            process.send_signal(signal.SIGTERM)
+            code, output = finish(process)
+        assert code == 0, output
+        manifest = RunManifest.load(tmp_path / "spool" / "manifest.json")
+        assert manifest.data["tool"] == "repro-serve"
+        assert len(manifest.data["config"]["jobs"]) == 1
+
+    def test_full_queue_sheds_with_429(self, tmp_path):
+        process, base = start_server(
+            tmp_path, "--queue-size", "1", "--workers", "1"
+        )
+        try:
+            # Burst faster than one worker can drain a queue of one:
+            # at least one submission must be shed with 429.
+            statuses = [post_job(base)[0] for _ in range(6)]
+            assert 429 in statuses, statuses
+            assert statuses[0] == 202
+        finally:
+            process.send_signal(signal.SIGTERM)
+            code, output = finish(process)
+        assert code == 0, output
+
+    def test_sigterm_while_idle_exits_zero(self, tmp_path):
+        process, base = start_server(tmp_path)
+        process.send_signal(signal.SIGTERM)
+        code, output = finish(process)
+        assert code == 0, output
+        assert "drain_begin" in output
+        assert (tmp_path / "spool" / "manifest.json").exists()
