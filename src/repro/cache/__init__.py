@@ -7,6 +7,11 @@ the paper's read-in / write-back protocol and write-back optimization.
 """
 
 from repro.cache.address import AddressMapper
+from repro.cache.artifacts import (
+    StreamArtifactStore,
+    get_artifact_store,
+    set_artifact_store,
+)
 from repro.cache.associative_l1 import AssociativeL1Cache
 from repro.cache.coherence import (
     CoherenceStats,
@@ -20,11 +25,13 @@ from repro.cache.hierarchy import (
     MissStream,
     TwoLevelHierarchy,
     cached_miss_stream,
+    cached_packed_miss_stream,
     capture_miss_stream,
     clear_miss_stream_cache,
     replay_miss_stream,
     split_stream_at_flushes,
 )
+from repro.cache.stream import PackedMissStream
 from repro.cache.stack import StackSimulator
 from repro.cache.multiprocessor import (
     MultiprocessorStats,
@@ -61,19 +68,24 @@ __all__ = [
     "MruDistanceObserver",
     "MultiprocessorStats",
     "MultiprocessorSystem",
+    "PackedMissStream",
     "ProbeObserver",
     "RandomReplacement",
     "ReplacementPolicy",
     "RequestKind",
     "SetAssociativeCache",
     "StackSimulator",
+    "StreamArtifactStore",
     "TwoLevelHierarchy",
     "cached_miss_stream",
+    "cached_packed_miss_stream",
     "capture_miss_stream",
     "clear_miss_stream_cache",
+    "get_artifact_store",
     "make_replacement",
     "node_workloads",
     "replay_miss_stream",
     "run_with_invalidations",
+    "set_artifact_store",
     "split_stream_at_flushes",
 ]

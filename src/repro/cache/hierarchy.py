@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cache.direct_mapped import DirectMappedCache, MemoryRequest, RequestKind
 from repro.cache.set_associative import SetAssociativeCache
 from repro.cache.stats import HierarchyStats
+from repro.cache.stream import PackedMissStream
 from repro.obs.metrics import get_metrics
 from repro.obs.spans import span
 from repro.trace.reference import Reference
@@ -45,6 +46,12 @@ class MissStream:
 
     events: List[Tuple[int, int]] = field(default_factory=list)
     processor_references: int = 0
+    #: Cached (readins, writebacks, events counted) — both kind counts
+    #: are computed in one pass and invalidated whenever the event list
+    #: grows (appends through the methods below or directly).
+    _counts: Optional[Tuple[int, int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def append(self, request: MemoryRequest) -> None:
         """Record one L1 request."""
@@ -54,15 +61,28 @@ class MissStream:
         """Record a cold-start boundary."""
         self.events.append(FLUSH_MARKER)
 
+    def _recount(self) -> None:
+        if self._counts is not None and self._counts[2] == len(self.events):
+            return
+        readins = writebacks = 0
+        for code, _ in self.events:
+            if code == 0:
+                readins += 1
+            elif code == 1:
+                writebacks += 1
+        self._counts = (readins, writebacks, len(self.events))
+
     @property
     def readins(self) -> int:
-        """Number of read-in events."""
-        return sum(1 for code, _ in self.events if code == 0)
+        """Number of read-in events (one cached pass for both kinds)."""
+        self._recount()
+        return self._counts[0]
 
     @property
     def writebacks(self) -> int:
-        """Number of write-back events."""
-        return sum(1 for code, _ in self.events if code == 1)
+        """Number of write-back events (one cached pass for both kinds)."""
+        self._recount()
+        return self._counts[1]
 
     def __len__(self) -> int:
         return len(self.events)
@@ -72,7 +92,11 @@ class MissStream:
 
         Capturing an L1 miss stream is the expensive step of large
         studies; saving it lets many later sessions replay it into new
-        L2 configurations without rerunning the L1.
+        L2 configurations without rerunning the L1. The record payload
+        is assembled in one pass and written in one call — no
+        per-record I/O. (:meth:`PackedMissStream.save` writes the
+        columnar ``RPM2`` format instead; this method keeps the legacy
+        ``RPMS`` record format readable and writable.)
         """
         import gzip
         import struct
@@ -81,46 +105,71 @@ class MissStream:
         path = Path(path)
         opener = gzip.open if path.suffix == ".gz" else open
         record = struct.Struct("<bQ")
+        pack = record.pack
         with opener(path, "wb") as handle:
             handle.write(b"RPMS")
-            handle.write(struct.pack("<Q", self.processor_references))
-            handle.write(struct.pack("<Q", len(self.events)))
-            for code, address in self.events:
-                handle.write(record.pack(code, address if code >= 0 else 0))
+            handle.write(
+                struct.pack("<QQ", self.processor_references, len(self.events))
+            )
+            handle.write(
+                b"".join(
+                    pack(code, address if code >= 0 else 0)
+                    for code, address in self.events
+                )
+            )
 
     @classmethod
     def load(cls, path) -> "MissStream":
         """Load a stream previously written by :meth:`save`.
 
+        Dispatches on the magic: legacy ``RPMS`` record files are read
+        with one bulk ``struct.iter_unpack``; columnar ``RPM2`` files
+        (written by :meth:`PackedMissStream.save`) are unpacked through
+        :class:`~repro.cache.stream.PackedMissStream`.
+
         Raises:
             TraceFormatError: On a bad header or truncated file.
         """
         import gzip
-        import struct
         from pathlib import Path
 
         from repro.errors import TraceFormatError
 
         path = Path(path)
         opener = gzip.open if path.suffix == ".gz" else open
-        record = struct.Struct("<bQ")
         with opener(path, "rb") as handle:
-            if handle.read(4) != b"RPMS":
+            magic = handle.read(4)
+            if magic == b"RPM2":
+                pass  # fall through to the columnar loader below
+            elif magic == b"RPMS":
+                handle.seek(0)
+                return cls._load_handle(handle, path)
+            else:
                 raise TraceFormatError(f"{path} is not a saved miss stream")
-            header = handle.read(16)
-            if len(header) != 16:
-                raise TraceFormatError("truncated miss-stream header")
-            processor_references, count = struct.unpack("<QQ", header)
-            stream = cls(processor_references=processor_references)
-            for _ in range(count):
-                chunk = handle.read(record.size)
-                if len(chunk) != record.size:
-                    raise TraceFormatError("truncated miss-stream record")
-                code, address = record.unpack(chunk)
-                if code < 0:
-                    stream.events.append(FLUSH_MARKER)
-                else:
-                    stream.events.append((code, address))
+        return PackedMissStream.load(path, mmap=False).to_miss_stream()
+
+    @classmethod
+    def _load_handle(cls, handle, path) -> "MissStream":
+        """Read one legacy ``RPMS`` stream from an open binary handle."""
+        import struct
+
+        from repro.errors import TraceFormatError
+
+        if handle.read(4) != b"RPMS":
+            raise TraceFormatError(f"{path} is not a saved miss stream")
+        header = handle.read(16)
+        if len(header) != 16:
+            raise TraceFormatError("truncated miss-stream header")
+        processor_references, count = struct.unpack("<QQ", header)
+        record = struct.Struct("<bQ")
+        data = handle.read(record.size * count)
+        if len(data) != record.size * count:
+            raise TraceFormatError("truncated miss-stream record")
+        stream = cls(processor_references=processor_references)
+        stream.events = [
+            FLUSH_MARKER if code < 0 else (code, address)
+            for code, address in record.iter_unpack(data)
+        ]
         return stream
 
 
@@ -351,9 +400,62 @@ def cached_miss_stream(
     return entry
 
 
+#: Process-wide packed miss-stream cache, content-addressed like
+#: :data:`_MISS_STREAM_CACHE`. Values are (PackedMissStream,
+#: L1 read-in miss ratio) pairs.
+_PACKED_STREAM_CACHE: Dict[tuple, Tuple[PackedMissStream, float]] = {}
+
+
+def cached_packed_miss_stream(
+    workload, capacity_bytes: int, block_size: int
+) -> Tuple[PackedMissStream, float]:
+    """Packed (columnar) captured L1 stream, memoized and artifact-backed.
+
+    The columnar sibling of :func:`cached_miss_stream` and the unit of
+    reuse for the batch-replay engine: the same in-process memoization,
+    plus an optional on-disk layer — when a stream artifact store is
+    configured (``REPRO_STREAM_ARTIFACTS`` or
+    :func:`repro.cache.artifacts.set_artifact_store`), captures are
+    persisted as content-addressed, mmap-able ``RPM2`` artifacts and
+    later processes (sweep workers, ``repro-serve`` jobs, new sessions)
+    load them zero-copy instead of re-simulating the L1. Artifact reuse
+    is published as ``miss_stream.artifact_hits`` /
+    ``miss_stream.artifact_misses`` next to the in-process
+    ``miss_stream.cache_*`` counters.
+
+    Returns:
+        ``(packed_stream, l1_readin_miss_ratio)``; treat the stream as
+        immutable — it is shared.
+    """
+    from repro.cache.artifacts import get_artifact_store
+
+    key = (_workload_key(workload), capacity_bytes, block_size)
+    entry = _PACKED_STREAM_CACHE.get(key)
+    metrics = get_metrics()
+    if entry is not None:
+        metrics.counter("miss_stream.cache_hits").inc()
+        return entry
+    store = get_artifact_store()
+    if store is not None:
+        entry = store.load(workload, capacity_bytes, block_size)
+        if entry is not None:
+            metrics.counter("miss_stream.artifact_hits").inc()
+            _PACKED_STREAM_CACHE[key] = entry
+            return entry
+        metrics.counter("miss_stream.artifact_misses").inc()
+    stream, miss_ratio = cached_miss_stream(workload, capacity_bytes, block_size)
+    packed = PackedMissStream.from_miss_stream(stream)
+    entry = (packed, miss_ratio)
+    _PACKED_STREAM_CACHE[key] = entry
+    if store is not None:
+        store.save(workload, capacity_bytes, block_size, packed, miss_ratio)
+    return entry
+
+
 def clear_miss_stream_cache() -> None:
     """Drop every memoized miss stream (frees the captured traces)."""
     _MISS_STREAM_CACHE.clear()
+    _PACKED_STREAM_CACHE.clear()
 
 
 def split_stream_at_flushes(stream: MissStream) -> List[MissStream]:
@@ -385,8 +487,16 @@ def split_stream_at_flushes(stream: MissStream) -> List[MissStream]:
     return segments
 
 
-def replay_miss_stream(stream: MissStream, l2: SetAssociativeCache) -> None:
-    """Feed a captured miss stream into an (instrumented) L2 cache."""
+def replay_miss_stream(stream, l2: SetAssociativeCache) -> None:
+    """Feed a captured miss stream into an (instrumented) L2 cache.
+
+    Accepts either a legacy :class:`MissStream` or a columnar
+    :class:`~repro.cache.stream.PackedMissStream`; the replay order —
+    and therefore every counter — is identical for equivalent streams.
+    """
+    if isinstance(stream, PackedMissStream):
+        _replay_packed(stream, l2)
+        return
     for code, address in stream.events:
         if (code, address) == FLUSH_MARKER:
             l2.invalidate_all()
@@ -395,3 +505,23 @@ def replay_miss_stream(stream: MissStream, l2: SetAssociativeCache) -> None:
             l2.read_in(address)
         else:
             l2.write_back(address)
+
+
+def _replay_packed(stream: PackedMissStream, l2: SetAssociativeCache) -> None:
+    """Replay a packed stream: bulk column walks between flush boundaries."""
+    read_in = l2.read_in
+    write_back = l2.write_back
+    codes = stream.codes
+    addresses = stream.addresses
+    position = 0
+    boundaries = list(stream.flush_offsets)
+    boundaries.append(len(codes))
+    for index, boundary in enumerate(boundaries):
+        for i in range(position, boundary):
+            if codes[i]:
+                write_back(addresses[i])
+            else:
+                read_in(addresses[i])
+        position = boundary
+        if index < len(boundaries) - 1:
+            l2.invalidate_all()

@@ -1,0 +1,508 @@
+"""Columnar packed miss streams and the mmap-able RPM2 artifact format.
+
+A captured L1 miss stream is the unit of reuse across every L2 sweep:
+one stream is replayed into dozens of instrumented configurations. The
+legacy :class:`~repro.cache.hierarchy.MissStream` stores it as a Python
+list of ``(kind_code, address)`` tuples — two heap objects per event.
+:class:`PackedMissStream` stores the same information *columnar*:
+
+- a **codes** column (one unsigned byte per event: 0 = read-in,
+  1 = write-back),
+- an **addresses** column (one unsigned 64-bit word per event),
+- a **flush-offsets** index (for each cold-start boundary, the number
+  of events that precede it — flushes are *not* inline sentinels).
+
+Columns are stdlib :class:`array.array` / :class:`memoryview` buffers,
+so splitting at flush boundaries is zero-copy slicing, counting event
+kinds is a single C-level pass, and persistence is a handful of bulk
+writes. When numpy is importable (and ``REPRO_NO_NUMPY`` is unset) the
+columns can additionally be viewed as ndarrays for vectorized address
+arithmetic; every consumer falls back to the stdlib buffers behind the
+same API, so numpy stays strictly optional.
+
+The on-disk **RPM2** format (version 2 of the ``RPMS`` record format)
+lays the columns out contiguously with 8-byte alignment::
+
+    offset  0   magic  b"RPM2"
+    offset  4   u32    format version (currently 1)
+    offset  8   u64    processor_references
+    offset 16   u64    n_events
+    offset 24   u64    n_flushes
+    offset 32   u8  x n_events   codes column
+    (pad to 8-byte alignment)
+    u64 x n_events               addresses column (little-endian)
+    u64 x n_flushes              flush-offsets column (little-endian)
+
+so :meth:`PackedMissStream.load` can map the file and hand out
+zero-copy ``memoryview.cast("Q")`` windows directly over the page
+cache — the content-addressed stream-artifact store
+(:mod:`repro.cache.artifacts`) relies on this for cheap reuse across
+worker processes and service jobs. Legacy ``RPMS`` files load through
+the same entry point (materialized, not mapped).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import TraceFormatError
+
+#: Sentinel yielded by :meth:`PackedMissStream.iter_events` at flush
+#: boundaries — identical to the legacy in-stream marker.
+FLUSH_MARKER: Tuple[int, int] = (-1, -1)
+
+_MAGIC = b"RPM2"
+_LEGACY_MAGIC = b"RPMS"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQQQ")
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when unavailable or disabled.
+
+    Disabled explicitly with ``REPRO_NO_NUMPY=1`` (the CI no-numpy job
+    uses this to keep the stdlib ``array`` path exercised); the
+    environment is re-read on every call so tests can toggle it, while
+    the import itself is attempted at most once.
+    """
+    if os.environ.get("REPRO_NO_NUMPY", "").strip() not in ("", "0"):
+        return None
+    global _NUMPY, _NUMPY_IMPORTED
+    if not _NUMPY_IMPORTED:
+        _NUMPY_IMPORTED = True
+        try:
+            import numpy
+        except Exception:  # pragma: no cover - numpy genuinely absent
+            numpy = None
+        _NUMPY = numpy
+    return _NUMPY
+
+
+_NUMPY = None
+_NUMPY_IMPORTED = False
+
+
+def _pad8(n: int) -> int:
+    """``n`` rounded up to the next multiple of 8."""
+    return (n + 7) & ~7
+
+
+class PackedMissStream:
+    """A captured L1 request stream in packed columnar form.
+
+    Mutable while backed by ``array`` columns (the capture/builder
+    path); streams loaded with ``mmap=True`` are read-only views over
+    the file. All read APIs work identically on either backing.
+    """
+
+    __slots__ = (
+        "_codes", "_addresses", "_flushes", "processor_references",
+        "_mmap", "_counts", "_partitions",
+    )
+
+    def __init__(
+        self,
+        codes=None,
+        addresses=None,
+        flush_offsets=None,
+        processor_references: int = 0,
+        _mmap=None,
+    ) -> None:
+        self._codes = codes if codes is not None else array("B")
+        self._addresses = addresses if addresses is not None else array("Q")
+        self._flushes = (
+            flush_offsets if flush_offsets is not None else array("Q")
+        )
+        self.processor_references = processor_references
+        # Keeps a mapped file alive for the lifetime of its views.
+        self._mmap = _mmap
+        # (readins, writebacks, counted_events) — see the properties.
+        self._counts: Optional[Tuple[int, int, int]] = None
+        # Per-geometry replay partitions, attached lazily by the
+        # columnar batch-replay engine (repro.core.batch).
+        self._partitions: dict = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def codes(self):
+        """The codes column (``array('B')`` or a byte memoryview)."""
+        return self._codes
+
+    @property
+    def addresses(self):
+        """The addresses column (``array('Q')`` or a u64 memoryview)."""
+        return self._addresses
+
+    @property
+    def flush_offsets(self):
+        """Event counts preceding each flush boundary, in order."""
+        return self._flushes
+
+    @property
+    def n_events(self) -> int:
+        """Number of read-in/write-back events (flushes excluded)."""
+        return len(self._codes)
+
+    @property
+    def n_flushes(self) -> int:
+        """Number of cold-start flush boundaries."""
+        return len(self._flushes)
+
+    def __len__(self) -> int:
+        # Mirrors the legacy MissStream, whose events list counts flush
+        # markers too.
+        return len(self._codes) + len(self._flushes)
+
+    def _recount(self) -> None:
+        n = len(self._codes)
+        if self._counts is not None and self._counts[2] == n:
+            return
+        np = numpy_or_none()
+        if np is not None and n:
+            writebacks = int(np.count_nonzero(np.frombuffer(self._codes, np.uint8)))
+        else:
+            writebacks = sum(self._codes)
+        self._counts = (n - writebacks, writebacks, n)
+
+    @property
+    def readins(self) -> int:
+        """Number of read-in events (one pass, cached)."""
+        self._recount()
+        return self._counts[0]
+
+    @property
+    def writebacks(self) -> int:
+        """Number of write-back events (one pass, cached)."""
+        self._recount()
+        return self._counts[1]
+
+    # ------------------------------------------------------------------
+    # Building
+
+    def append(self, code: int, address: int) -> None:
+        """Record one event (0 = read-in, 1 = write-back)."""
+        self._codes.append(code)
+        self._addresses.append(address)
+        self._counts = None
+        self._partitions.clear()
+
+    def append_flush(self) -> None:
+        """Record a cold-start boundary at the current position."""
+        self._flushes.append(len(self._codes))
+        self._partitions.clear()
+
+    @classmethod
+    def from_events(
+        cls, events, processor_references: int = 0
+    ) -> "PackedMissStream":
+        """Pack a legacy event sequence (flush markers inline)."""
+        packed = cls(processor_references=processor_references)
+        codes = packed._codes
+        addresses = packed._addresses
+        flushes = packed._flushes
+        for code, address in events:
+            if code < 0:
+                flushes.append(len(codes))
+            else:
+                codes.append(code)
+                addresses.append(address)
+        return packed
+
+    @classmethod
+    def from_miss_stream(cls, stream) -> "PackedMissStream":
+        """Pack a legacy :class:`~repro.cache.hierarchy.MissStream`."""
+        return cls.from_events(stream.events, stream.processor_references)
+
+    # ------------------------------------------------------------------
+    # Legacy interop
+
+    def iter_events(self) -> Iterator[Tuple[int, int]]:
+        """Yield legacy ``(code, address)`` events, flush markers inline."""
+        codes = self._codes
+        addresses = self._addresses
+        position = 0
+        for offset in self._flushes:
+            for i in range(position, offset):
+                yield (codes[i], addresses[i])
+            yield FLUSH_MARKER
+            position = offset
+        for i in range(position, len(codes)):
+            yield (codes[i], addresses[i])
+
+    def to_miss_stream(self):
+        """The equivalent legacy :class:`~repro.cache.hierarchy.MissStream`."""
+        from repro.cache.hierarchy import MissStream
+
+        return MissStream(
+            events=list(self.iter_events()),
+            processor_references=self.processor_references,
+        )
+
+    # ------------------------------------------------------------------
+    # Splitting
+
+    def split_at_flushes(self) -> List["PackedMissStream"]:
+        """Zero-copy cold-start segments (flush boundaries consumed).
+
+        Segment-for-segment equivalent to
+        :func:`~repro.cache.hierarchy.split_stream_at_flushes` on the
+        unpacked stream: empty segments are dropped and
+        ``processor_references`` rides on the first segment only. Each
+        segment's columns are memoryview windows into this stream's
+        buffers — no events are copied.
+        """
+        codes = memoryview(self._codes)
+        if codes.format != "B":  # an mmap-backed byte view
+            codes = codes.cast("B")
+        addresses = memoryview(self._addresses)
+        boundaries = [0, *self._flushes, len(self._codes)]
+        segments: List[PackedMissStream] = []
+        for start, end in zip(boundaries, boundaries[1:]):
+            if start >= end:
+                continue
+            segments.append(
+                PackedMissStream(
+                    codes=codes[start:end],
+                    addresses=addresses[start:end],
+                    flush_offsets=array("Q"),
+                    _mmap=self._mmap,
+                )
+            )
+        if segments:
+            segments[0].processor_references = self.processor_references
+        return segments
+
+    # ------------------------------------------------------------------
+    # Persistence (RPM2, with legacy RPMS fallback)
+
+    def content_hash(self) -> str:
+        """SHA-256 over the packed columns and reference count (hex)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(struct.pack("<Q", self.processor_references))
+        digest.update(bytes(self._codes))
+        digest.update(self._address_bytes())
+        digest.update(self._flush_bytes())
+        return digest.hexdigest()
+
+    def _address_bytes(self) -> bytes:
+        return _u64_bytes(self._addresses)
+
+    def _flush_bytes(self) -> bytes:
+        return _u64_bytes(self._flushes)
+
+    def save(self, path) -> None:
+        """Write the stream as an RPM2 file (gzip if ``path`` ends ``.gz``).
+
+        The write is a fixed header plus three bulk column writes — no
+        per-record packing. Plain files are laid out 8-byte aligned so
+        :meth:`load` can map them zero-copy.
+        """
+        path = Path(path)
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            self.processor_references,
+            len(self._codes),
+            len(self._flushes),
+        )
+        codes = bytes(self._codes)
+        pad = b"\x00" * (_pad8(_HEADER.size + len(codes)) - _HEADER.size - len(codes))
+        opener = gzip.open if path.suffix == ".gz" else open
+        with opener(path, "wb") as handle:
+            handle.write(header)
+            handle.write(codes)
+            handle.write(pad)
+            handle.write(self._address_bytes())
+            handle.write(self._flush_bytes())
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "PackedMissStream":
+        """Load an RPM2 (or legacy RPMS) miss-stream file.
+
+        Plain (non-gzip) RPM2 files are memory-mapped by default: the
+        returned stream's columns are zero-copy views over the page
+        cache, so many processes loading the same artifact share the
+        physical memory. Pass ``mmap=False`` to materialize instead.
+        Legacy ``RPMS`` record files are detected by magic and packed
+        on load.
+
+        Raises:
+            TraceFormatError: On an unknown magic, unsupported version,
+                or truncated/corrupt file.
+        """
+        path = Path(path)
+        gzipped = path.suffix == ".gz"
+        opener = gzip.open if gzipped else open
+        with opener(path, "rb") as handle:
+            magic = handle.read(4)
+            if magic == _LEGACY_MAGIC:
+                handle.seek(0)
+                return cls._load_legacy(handle, path)
+            if magic != _MAGIC:
+                raise TraceFormatError(f"{path} is not a saved miss stream")
+            if not gzipped and mmap and sys.byteorder == "little":
+                return cls._load_mapped(path)
+            data = magic + handle.read()
+        return cls._parse(data, path)
+
+    @classmethod
+    def _load_legacy(cls, handle, path) -> "PackedMissStream":
+        """Pack a legacy RPMS record file (via the legacy loader)."""
+        from repro.cache.hierarchy import MissStream
+
+        return cls.from_miss_stream(MissStream._load_handle(handle, path))
+
+    @classmethod
+    def _parse_header(cls, buffer, path) -> Tuple[int, int, int, int, int]:
+        """Validate the RPM2 header; returns refs/counts/column offsets."""
+        if len(buffer) < _HEADER.size:
+            raise TraceFormatError(f"truncated miss-stream header in {path}")
+        magic, version, refs, n_events, n_flushes = _HEADER.unpack_from(buffer)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path} is not a saved miss stream")
+        if version != _VERSION:
+            raise TraceFormatError(
+                f"unsupported RPM2 version {version} in {path}"
+            )
+        addr_off = _pad8(_HEADER.size + n_events)
+        total = addr_off + 8 * n_events + 8 * n_flushes
+        if len(buffer) < total:
+            raise TraceFormatError(
+                f"truncated miss-stream columns in {path}: "
+                f"{len(buffer)} bytes, need {total}"
+            )
+        return refs, n_events, n_flushes, addr_off, total
+
+    @classmethod
+    def _parse(cls, data: bytes, path) -> "PackedMissStream":
+        """Materialize a stream from RPM2 bytes (non-mmap path)."""
+        refs, n_events, n_flushes, addr_off, _ = cls._parse_header(data, path)
+        codes = array("B")
+        codes.frombytes(data[_HEADER.size:_HEADER.size + n_events])
+        addresses = _u64_array(data[addr_off:addr_off + 8 * n_events])
+        flush_start = addr_off + 8 * n_events
+        flushes = _u64_array(data[flush_start:flush_start + 8 * n_flushes])
+        return cls(
+            codes=codes,
+            addresses=addresses,
+            flush_offsets=flushes,
+            processor_references=refs,
+        )
+
+    @classmethod
+    def _load_mapped(cls, path) -> "PackedMissStream":
+        """Zero-copy load: memoryview windows over an mmap of ``path``."""
+        import mmap as mmap_module
+
+        with open(path, "rb") as handle:
+            try:
+                mapping = mmap_module.mmap(
+                    handle.fileno(), 0, access=mmap_module.ACCESS_READ
+                )
+            except ValueError:  # empty file
+                raise TraceFormatError(
+                    f"truncated miss-stream header in {path}"
+                ) from None
+        view = memoryview(mapping)
+        refs, n_events, n_flushes, addr_off, _ = cls._parse_header(view, path)
+        codes = view[_HEADER.size:_HEADER.size + n_events]
+        addresses = view[addr_off:addr_off + 8 * n_events].cast("Q")
+        # The flush index is tiny; materialize it so builders and
+        # loaded streams agree on its type.
+        flush_start = addr_off + 8 * n_events
+        flushes = _u64_array(
+            bytes(view[flush_start:flush_start + 8 * n_flushes])
+        )
+        return cls(
+            codes=codes,
+            addresses=addresses,
+            flush_offsets=flushes,
+            processor_references=refs,
+            _mmap=mapping,
+        )
+
+    # ------------------------------------------------------------------
+    # numpy fast path (optional, same data)
+
+    def codes_numpy(self):
+        """The codes column as a numpy ``uint8`` view, or ``None``."""
+        np = numpy_or_none()
+        if np is None:
+            return None
+        return np.frombuffer(self._codes, dtype=np.uint8)
+
+    def addresses_numpy(self):
+        """The addresses column as a numpy ``uint64`` view, or ``None``."""
+        np = numpy_or_none()
+        if np is None:
+            return None
+        return np.frombuffer(self._addresses, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # Pickling (memoryview/mmap-backed streams materialize on the way)
+
+    def __reduce__(self):
+        return (
+            _rebuild_packed,
+            (
+                bytes(self._codes),
+                self._address_bytes(),
+                self._flush_bytes(),
+                self.processor_references,
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedMissStream(events={self.n_events}, "
+            f"flushes={self.n_flushes}, "
+            f"processor_references={self.processor_references})"
+        )
+
+
+def _u64_bytes(column) -> bytes:
+    """Little-endian bytes of a u64 column (array or memoryview)."""
+    if isinstance(column, memoryview):
+        data = bytes(column)
+        if sys.byteorder != "little":  # pragma: no cover - big-endian only
+            swapped = array("Q")
+            swapped.frombytes(data)
+            swapped.byteswap()
+            data = swapped.tobytes()
+        return data
+    if sys.byteorder != "little":  # pragma: no cover - big-endian only
+        swapped = array("Q", column)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return column.tobytes()
+
+
+def _u64_array(data: bytes) -> array:
+    """A native u64 array from little-endian bytes."""
+    values = array("Q")
+    values.frombytes(data)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian only
+        values.byteswap()
+    return values
+
+
+def _rebuild_packed(codes, addresses, flushes, refs) -> PackedMissStream:
+    """Pickle helper: rebuild a stream from raw column bytes."""
+    code_column = array("B")
+    code_column.frombytes(codes)
+    return PackedMissStream(
+        codes=code_column,
+        addresses=_u64_array(addresses),
+        flush_offsets=_u64_array(flushes),
+        processor_references=refs,
+    )

@@ -1,0 +1,580 @@
+"""Columnar batch-replay engine: per-set runs, memoized bulk deltas.
+
+The serial replay path walks a miss stream one event at a time,
+dispatching every access through the cache and the fused engine's
+``observe`` closure. This module replays the same stream *batched*: it
+partitions a :class:`~repro.cache.stream.PackedMissStream` into per-set
+**runs** (all events landing in one L2 set within one cold-start
+segment, in order) and accounts each run in bulk, merging integer
+*deltas* into the final histograms instead of per-event closure
+dispatch. It is required to be bit-identical to the serial engine path
+(and therefore to the legacy observer reference path) — the
+differential tests in ``tests/core/test_batch_differential.py`` drive
+both over identical streams and assert exact equality of every
+accumulator field, the distance histogram, and the cache stats.
+
+Why per-set batching is sound
+-----------------------------
+
+Within one cold-start segment a set only ever *fills* (invalidation
+happens only at flush boundaries, which delimit segments), so the
+events of a set form a self-contained sub-simulation — except for one
+global coupling: the default replacement policy places blocks into a
+uniformly random empty frame, drawing from **one** RNG shared by all
+sets in global access order (:class:`~repro.cache.replacement
+.ReplacementPolicy`). The engine reproduces those draws exactly:
+
+1. **Partition pass** (once per stream x geometry, cached on the
+   stream): walk the segment in global order, bucketing events per
+   set. While a set is still filling, a miss is a *fill*; hit/miss
+   during the fill phase is placement-independent (no evictions have
+   happened yet, so "resident" = "seen before"), so each fill's RNG
+   draw — ``randrange(#empty frames)`` — can be made against the
+   shared RNG at exactly the position the serial replay would make it.
+   The chosen frames form the run's **fill permutation**. Once a set
+   is full it never draws again, so later events need no global state.
+2. **Run accounting**: each distinct ``(run events, fill permutation,
+   scheme roster, policy)`` is replayed once through a scratch
+   :class:`~repro.cache.set_state.CacheSet` and a scratch
+   :class:`~repro.core.engine.FusedProbeEngine` (reset between runs),
+   with fills scripted from the permutation and evictions delegated to
+   the deterministic per-set policy (LRU recency / FIFO arrival). The
+   finalized counters are flattened into a tuple of ints — the run's
+   delta — and memoized process-wide, so identical runs (tags exclude
+   the set index, so equal-content sets share) are accounted once.
+3. **Aggregation**: a replay sums the run deltas; the sum is cached on
+   the partition per roster, so replaying the same stream into the
+   same configuration again is a dictionary lookup. Merging is integer
+   addition of disjoint segment/set counters — the same argument that
+   makes :meth:`~repro.experiments.runner.ExperimentRunner
+   .run_segmented`'s shard merge bit-identical.
+
+Supported configurations: exact :class:`~repro.cache.replacement
+.LruReplacement` / :class:`~repro.cache.replacement.FifoReplacement`
+policies (any fill mode/seed). :class:`~repro.cache.replacement
+.RandomReplacement` evicts from its own RNG in global order and is not
+batchable; constructing the engine with it raises
+:class:`~repro.errors.ConfigurationError` — callers fall back to the
+serial path.
+
+When numpy is available (and ``REPRO_NO_NUMPY`` unset) the partition
+pass precomputes the set-index and tag columns vectorized; the
+accounting itself is identical either way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.replacement import (
+    FifoReplacement,
+    LruReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+from repro.cache.set_state import CacheSet
+from repro.cache.stats import CacheStats
+from repro.cache.stream import PackedMissStream
+from repro.core.engine import FusedProbeEngine, MruDistanceStats, _UPDATES
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.core.probes import ProbeAccumulator
+from repro.core.traditional import TraditionalLookup
+from repro.core.transforms import _TRANSFORMS
+from repro.errors import ConfigurationError
+
+#: Process-wide memo of per-run deltas, keyed by
+#: (plan signature, run events, fill permutation). Bounded: cleared
+#: wholesale when it outgrows _RUN_MEMO_LIMIT (a safety valve, not a
+#: tuning knob — real sweeps stay far below it).
+_RUN_DELTA_MEMO: Dict[tuple, tuple] = {}
+_RUN_MEMO_LIMIT = 1 << 20
+
+#: Distinguishes plan signatures that contain schemes without a
+#: structural identity (generic fallbacks, custom transforms): such
+#: plans get a fresh nonce per engine, disabling cross-engine sharing
+#: rather than risking an id()-collision between garbage-collected
+#: scheme objects.
+_PLAN_NONCE = itertools.count(1)
+
+_KNOWN_TRANSFORMS = tuple(_TRANSFORMS.values())
+
+
+def _scheme_signature(scheme) -> Optional[tuple]:
+    """Structural identity of a scheme, or ``None`` when it has none.
+
+    Two schemes with equal signatures produce identical probe counts
+    for identical access sequences — the property that lets run deltas
+    and aggregates be shared across engine instances. Exact classes
+    only, mirroring the fused engine's analytic dispatch.
+    """
+    kind = type(scheme)
+    if kind is TraditionalLookup or kind is NaiveLookup:
+        return (kind.__name__, scheme.associativity)
+    if kind is MRULookup:
+        return ("MRULookup", scheme.associativity, scheme.list_length)
+    if kind is PartialCompareLookup:
+        transform = scheme.transform
+        if type(transform) not in _KNOWN_TRANSFORMS:
+            return None
+        return (
+            "PartialCompareLookup",
+            scheme.associativity,
+            scheme.partial_bits,
+            scheme.subsets,
+            scheme._tag_mask,
+            scheme._full_width,
+            scheme._default_slicing,
+            type(transform).__name__,
+            transform.tag_bits,
+            transform.field_bits,
+        )
+    return None
+
+
+class _Partition:
+    """One stream's per-set runs for one (geometry, fill, seed)."""
+
+    __slots__ = ("runs", "batch_hist", "aggregates")
+
+    def __init__(self) -> None:
+        #: (events tuple, fill permutation) per run, all segments.
+        self.runs: List[Tuple[tuple, tuple]] = []
+        #: Summary of run sizes, merged into ``replay.batch_size``.
+        self.batch_hist: Dict[str, float] = {}
+        #: plan signature -> summed delta tuple.
+        self.aggregates: Dict[tuple, tuple] = {}
+
+
+class ColumnarReplayOutcome:
+    """Everything one batched replay produced, in runner-ready form."""
+
+    __slots__ = (
+        "stats", "accumulators", "distance", "updates",
+        "run_count", "batch_hist", "channel_count",
+    )
+
+    def __init__(self, stats, accumulators, distance, updates,
+                 run_count, batch_hist, channel_count) -> None:
+        self.stats: CacheStats = stats
+        self.accumulators: Dict[str, ProbeAccumulator] = accumulators
+        self.distance: Optional[MruDistanceStats] = distance
+        self.updates: int = updates
+        self.run_count: int = run_count
+        self.batch_hist: Dict[str, float] = batch_hist
+        self.channel_count: int = channel_count
+
+    def publish_engine_metrics(self, registry=None) -> None:
+        """Publish the same ``engine.*`` metrics a fused replay would.
+
+        Counter-for-counter compatible with
+        :meth:`~repro.core.engine.FusedProbeEngine.publish_metrics`, so
+        manifests and merged worker snapshots are bit-identical
+        whichever replay path produced them.
+        """
+        from repro.obs.metrics import get_metrics
+
+        if registry is None:
+            registry = get_metrics()
+        stats = self.stats
+        pairs = (
+            ("engine.readin_hits", stats.readin_hits),
+            ("engine.readin_misses", stats.readin_misses),
+            ("engine.writeback_hits", stats.writeback_hits),
+            ("engine.writeback_misses", stats.writeback_misses),
+            ("engine.mru_updates", self.updates),
+        )
+        for name, value in pairs:
+            if value:
+                registry.counter(name).inc(value)
+        accesses = (
+            stats.readin_hits + stats.readin_misses
+            + stats.writeback_hits + stats.writeback_misses
+        )
+        if accesses:
+            registry.counter("engine.accesses").inc(accesses)
+        registry.gauge("engine.channels").set(self.channel_count)
+
+
+class ColumnarReplayEngine:
+    """Batched, memoized replay of packed miss streams into one config.
+
+    Args:
+        capacity_bytes, block_size, associativity: The L2 geometry
+            (same constraints as
+            :class:`~repro.cache.set_associative.SetAssociativeCache`).
+        plan: Ordered ``(label, scheme)`` pairs to account — the same
+            roster :func:`~repro.experiments.runner._scheme_plan`
+            builds. Aliased labels may share scheme instances.
+        writeback_optimization: Forwarded to every channel.
+        track_distance: Also produce the MRU hit-distance histogram
+            (what :meth:`~repro.core.engine.FusedProbeEngine
+            .add_mru_distance` tracks).
+        replacement: Policy instance or registry name; must be exact
+            LRU or FIFO (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_size: int,
+        associativity: int,
+        plan: Sequence[Tuple[str, object]],
+        writeback_optimization: bool = True,
+        track_distance: bool = True,
+        replacement: "ReplacementPolicy | str" = "lru",
+    ) -> None:
+        if isinstance(replacement, str):
+            replacement = make_replacement(replacement)
+        policy_kind = type(replacement)
+        if policy_kind is LruReplacement:
+            self._lru_eviction = True
+        elif policy_kind is FifoReplacement:
+            self._lru_eviction = False
+        else:
+            raise ConfigurationError(
+                f"columnar replay supports exact lru/fifo replacement, "
+                f"got {policy_kind.__name__}"
+            )
+        if associativity <= 0 or associativity & (associativity - 1):
+            raise ConfigurationError(
+                f"associativity must be a positive power of two, "
+                f"got {associativity}"
+            )
+        blocks = capacity_bytes // block_size
+        if blocks * block_size != capacity_bytes or blocks % associativity:
+            raise ConfigurationError(
+                f"invalid geometry: {capacity_bytes}B / {block_size}B "
+                f"blocks / {associativity}-way"
+            )
+        num_sets = blocks // associativity
+        self.capacity_bytes = capacity_bytes
+        self.block_size = block_size
+        self.associativity = associativity
+        self.num_sets = num_sets
+        self.block_bits = block_size.bit_length() - 1
+        self.set_bits = num_sets.bit_length() - 1
+        self.fill = replacement.fill
+        self.seed = replacement.seed
+        self.writeback_optimization = writeback_optimization
+        self.track_distance = track_distance
+        self._labels = [label for label, _ in plan]
+
+        # Scratch machinery: one set + one engine, reset per run.
+        self._scratch_set = CacheSet(associativity)
+        engine = FusedProbeEngine(associativity)
+        signatures = []
+        for label, scheme in plan:
+            engine.add_scheme(
+                scheme,
+                writeback_optimization=writeback_optimization,
+                label=label,
+            )
+            signatures.append(_scheme_signature(scheme))
+        if track_distance:
+            engine.add_mru_distance()
+            self._scratch_distance = engine._distances[0]
+        else:
+            self._scratch_distance = None
+        self._scratch_engine = engine
+
+        if any(sig is None for sig in signatures):
+            roster_sig = ("nonce", next(_PLAN_NONCE))
+        else:
+            roster_sig = tuple(zip(self._labels, signatures))
+        self.plan_signature = (
+            roster_sig,
+            associativity,
+            writeback_optimization,
+            track_distance,
+            "lru" if self._lru_eviction else "fifo",
+        )
+
+    # ------------------------------------------------------------------
+    # Partitioning (phase 1)
+
+    def _partition_key(self) -> tuple:
+        return (
+            self.block_bits, self.set_bits, self.associativity,
+            self.fill, self.seed,
+        )
+
+    def _partition(self, stream: PackedMissStream) -> _Partition:
+        key = self._partition_key()
+        partition = stream._partitions.get(key)
+        if partition is None:
+            partition = self._build_partition(stream)
+            stream._partitions[key] = partition
+        return partition
+
+    def _build_partition(self, stream: PackedMissStream) -> _Partition:
+        import random
+
+        block_bits = self.block_bits
+        set_bits = self.set_bits
+        set_mask = self.num_sets - 1
+        a = self.associativity
+        random_fill = self.fill == "random"
+        seed = self.seed
+
+        codes = stream.codes
+        addresses = stream.addresses
+        sets_column = tags_column = None
+        np_codes = stream.codes_numpy()
+        np_addresses = stream.addresses_numpy()
+        if np_codes is not None and np_addresses is not None:
+            # Vectorized address arithmetic: one shift/mask pass over
+            # the whole column instead of per-event Python ints.
+            import numpy as np
+
+            blocks = np_addresses >> np.uint64(block_bits)
+            sets_column = (blocks & np.uint64(set_mask)).tolist()
+            tags_column = (blocks >> np.uint64(set_bits)).tolist()
+            codes = np_codes.tolist()
+
+        partition = _Partition()
+        boundaries = list(stream.flush_offsets)
+        boundaries.append(stream.n_events)
+        position = 0
+        run_sizes: List[int] = []
+        for boundary in boundaries:
+            if position == boundary:
+                continue
+            rng = random.Random(seed) if random_fill else None
+            # set index -> [events, seen tags, perm, #empty, empties].
+            builders: Dict[int, list] = {}
+            order: List[list] = []
+            for i in range(position, boundary):
+                if sets_column is not None:
+                    s = sets_column[i]
+                    tag = tags_column[i]
+                else:
+                    block = addresses[i] >> block_bits
+                    s = block & set_mask
+                    tag = block >> set_bits
+                builder = builders.get(s)
+                if builder is None:
+                    builder = builders[s] = [[], set(), [], a, None]
+                    order.append(builder)
+                remaining = builder[3]
+                if remaining:
+                    seen = builder[1]
+                    if tag not in seen:
+                        # A fill: reproduce the shared RNG draw the
+                        # serial replay makes at this exact global
+                        # position.
+                        seen.add(tag)
+                        if rng is None:
+                            builder[2].append(a - remaining)
+                        else:
+                            empties = builder[4]
+                            if empties is None:
+                                empties = builder[4] = list(range(a))
+                            builder[2].append(
+                                empties.pop(rng.randrange(remaining))
+                            )
+                        builder[3] = remaining - 1
+                builder[0].append((tag << 1) | codes[i])
+            for builder in order:
+                events = tuple(builder[0])
+                partition.runs.append((events, tuple(builder[2])))
+                run_sizes.append(len(events))
+            position = boundary
+
+        if run_sizes:
+            partition.batch_hist = {
+                "count": len(run_sizes),
+                "total": float(sum(run_sizes)),
+                "min": float(min(run_sizes)),
+                "max": float(max(run_sizes)),
+            }
+        return partition
+
+    # ------------------------------------------------------------------
+    # Run accounting (phase 2)
+
+    def _reset_scratch(self) -> None:
+        self._scratch_set.invalidate_all()
+        self._scratch_engine.reset()
+
+    def _run_delta(self, events: tuple, perm: tuple) -> tuple:
+        """Account one run from cold state; returns the flat delta.
+
+        Layout: 6 cache-stat counters, the update count, ``a`` distance
+        histogram buckets, then 6 accumulator fields per label in plan
+        order.
+        """
+        self._reset_scratch()
+        cs = self._scratch_set
+        engine = self._scratch_engine
+        observe = engine.observe
+        tags = cs._tags
+        mru = cs._mru
+        find = cs.find
+        touch = cs.touch
+        install = cs.install
+        evict = cs.lru_frame if self._lru_eviction else cs.oldest_frame
+        dirty = cs._dirty
+        n_fills = len(perm)
+        fill_i = 0
+        readin_hits = readin_misses = wb_hits = wb_misses = 0
+        evictions = dirty_evictions = 0
+        for packed in events:
+            code = packed & 1
+            tag = packed >> 1
+            frame = find(tag)
+            observe(tags, mru, tag, code, frame)
+            if frame is not None:
+                if code:
+                    wb_hits += 1
+                    dirty[frame] = True
+                else:
+                    readin_hits += 1
+                touch(frame)
+                continue
+            if code:
+                wb_misses += 1
+            else:
+                readin_misses += 1
+            if fill_i < n_fills:
+                victim = perm[fill_i]
+                fill_i += 1
+            else:
+                victim = evict()
+                evictions += 1
+                if dirty[victim]:
+                    dirty_evictions += 1
+            install(victim, tag, dirty=bool(code))
+        engine.finalize()
+        delta = [
+            readin_hits, readin_misses, wb_hits, wb_misses,
+            evictions, dirty_evictions, engine._counts[_UPDATES],
+        ]
+        delta.extend(engine._dist_hist)
+        channels = engine.channels
+        for label in self._labels:
+            acc = channels[label]._accumulator
+            delta.append(acc.hit_accesses)
+            delta.append(acc.hit_probes)
+            delta.append(acc.miss_accesses)
+            delta.append(acc.miss_probes)
+            delta.append(acc.writeback_accesses)
+            delta.append(acc.writeback_probes)
+        return tuple(delta)
+
+    def _aggregate(self, partition: _Partition) -> tuple:
+        plan_sig = self.plan_signature
+        aggregate = partition.aggregates.get(plan_sig)
+        if aggregate is not None:
+            return aggregate
+        width = 7 + self.associativity + 6 * len(self._labels)
+        totals = [0] * width
+        memo = _RUN_DELTA_MEMO
+        if len(memo) > _RUN_MEMO_LIMIT:  # pragma: no cover - safety valve
+            memo.clear()
+        for events, perm in partition.runs:
+            key = (plan_sig, events, perm)
+            delta = memo.get(key)
+            if delta is None:
+                delta = self._run_delta(events, perm)
+                memo[key] = delta
+            for i, value in enumerate(delta):
+                totals[i] += value
+        aggregate = tuple(totals)
+        partition.aggregates[plan_sig] = aggregate
+        return aggregate
+
+    # ------------------------------------------------------------------
+    # Replay (the public entry point)
+
+    def replay(
+        self, stream: PackedMissStream, metrics=None
+    ) -> ColumnarReplayOutcome:
+        """Batch-replay ``stream``; returns merged counters and stats.
+
+        Bit-identical to instrumenting a fresh
+        :class:`~repro.cache.set_associative.SetAssociativeCache` with
+        the same plan and calling
+        :func:`~repro.cache.hierarchy.replay_miss_stream`. Warm replays
+        (same stream object, same roster) are served from the cached
+        aggregate. When ``metrics`` is given (or the global registry is
+        in use), each replay publishes ``replay.columnar_replays`` and
+        merges the partition's run-size summary into the
+        ``replay.batch_size`` histogram.
+        """
+        partition = self._partition(stream)
+        aggregate = self._aggregate(partition)
+        if metrics is not None:
+            metrics.counter("replay.columnar_replays").inc()
+            if partition.batch_hist:
+                metrics.histogram("replay.batch_size").merge_dict(
+                    partition.batch_hist
+                )
+
+        a = self.associativity
+        stats = CacheStats(
+            readin_hits=aggregate[0],
+            readin_misses=aggregate[1],
+            writeback_hits=aggregate[2],
+            writeback_misses=aggregate[3],
+            evictions=aggregate[4],
+            dirty_evictions=aggregate[5],
+        )
+        updates = aggregate[6]
+        dist_hist = aggregate[7:7 + a]
+        distance = None
+        if self.track_distance:
+            distance = MruDistanceStats(a)
+            distance.hits = stats.readin_hits
+            distance.accesses = (
+                stats.readin_hits + stats.readin_misses
+                + stats.writeback_hits + stats.writeback_misses
+            )
+            distance.updates = updates
+            distance.counts = {
+                d: dist_hist[d - 1]
+                for d in range(1, a + 1)
+                if dist_hist[d - 1]
+            }
+        accumulators: Dict[str, ProbeAccumulator] = {}
+        offset = 7 + a
+        for label in self._labels:
+            acc = ProbeAccumulator()
+            (
+                acc.hit_accesses, acc.hit_probes,
+                acc.miss_accesses, acc.miss_probes,
+                acc.writeback_accesses, acc.writeback_probes,
+            ) = aggregate[offset:offset + 6]
+            accumulators[label] = acc
+            offset += 6
+        return ColumnarReplayOutcome(
+            stats=stats,
+            accumulators=accumulators,
+            distance=distance,
+            updates=updates,
+            run_count=len(partition.runs),
+            batch_hist=dict(partition.batch_hist),
+            channel_count=len(self._labels),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarReplayEngine(capacity_bytes={self.capacity_bytes}, "
+            f"block_size={self.block_size}, "
+            f"associativity={self.associativity}, "
+            f"labels={self._labels!r})"
+        )
+
+
+def columnar_supported(replacement: "ReplacementPolicy | str") -> bool:
+    """Whether the batched path can reproduce this replacement policy."""
+    if isinstance(replacement, str):
+        return replacement in ("lru", "fifo")
+    return type(replacement) in (LruReplacement, FifoReplacement)
+
+
+def clear_run_delta_memo() -> None:
+    """Drop the process-wide per-run delta memo (frees memory; tests)."""
+    _RUN_DELTA_MEMO.clear()

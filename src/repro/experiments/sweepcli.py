@@ -155,7 +155,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--obs-dir", metavar="DIR", default=None,
         help="write the provenance manifest and JSONL span trace here",
     )
+    parser.add_argument(
+        "--columnar", action="store_true",
+        help="replay through the columnar batch engine (bit-identical, "
+        "much faster on repeated points)",
+    )
+    parser.add_argument(
+        "--stream-artifacts", metavar="DIR", default=None,
+        help="persist captured miss streams as content-addressed RPM2 "
+        "artifacts in DIR and mmap them on reuse (workers inherit it)",
+    )
     args = parser.parse_args(argv)
+
+    if args.stream_artifacts is not None:
+        # Via the environment so forked sweep workers inherit it.
+        import os
+
+        os.environ["REPRO_STREAM_ARTIFACTS"] = args.stream_artifacts
 
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
@@ -173,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner = ParallelSweepRunner(
         default_workload(scale=args.scale, seed=args.seed),
         processes=args.processes,
+        use_columnar=True if args.columnar else None,
         obs_dir=args.obs_dir,
     )
     retry = RetryPolicy(

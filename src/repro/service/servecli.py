@@ -149,11 +149,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="seconds to wait for in-flight jobs on drain before "
         "abandoning them to their checkpoints",
     )
+    parser.add_argument(
+        "--columnar",
+        action="store_true",
+        help="replay jobs through the columnar batch engine "
+        "(bit-identical results)",
+    )
+    parser.add_argument(
+        "--stream-artifacts",
+        metavar="DIR",
+        default=None,
+        help="persist captured miss streams as content-addressed RPM2 "
+        "artifacts in DIR; jobs and their workers mmap them on reuse",
+    )
     args = parser.parse_args(argv)
     if args.queue_size < 1:
         parser.error("--queue-size must be >= 1")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    # Via the environment so job workers (forked per job) inherit them.
+    if args.columnar:
+        os.environ["REPRO_COLUMNAR"] = "1"
+    if args.stream_artifacts is not None:
+        os.environ["REPRO_STREAM_ARTIFACTS"] = args.stream_artifacts
 
     service = build_service(args)
     server = ServiceHTTPServer(service, args.host, args.port)

@@ -10,6 +10,7 @@ from repro.cache.hierarchy import (
     replay_miss_stream,
 )
 from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.stream import PackedMissStream
 from repro.errors import TraceFormatError
 from repro.trace.synthetic import AtumWorkload
 
@@ -81,3 +82,38 @@ class TestErrors:
         path.write_bytes(data[:-4])
         with pytest.raises(TraceFormatError, match="record"):
             MissStream.load(path)
+
+
+class TestColumnarInterop:
+    """The legacy loader reads the columnar ``RPM2`` format and back."""
+
+    def test_legacy_load_of_rpm2_file(self, stream, tmp_path):
+        packed = PackedMissStream.from_miss_stream(stream)
+        path = tmp_path / "columnar.rpm2"
+        packed.save(path)
+        loaded = MissStream.load(path)
+        assert loaded.events == stream.events
+        assert loaded.processor_references == stream.processor_references
+
+    def test_packed_load_of_rpms_file(self, stream, tmp_path):
+        path = tmp_path / "legacy.rpms"
+        stream.save(path)
+        loaded = PackedMissStream.load(path)
+        assert list(loaded.iter_events()) == stream.events
+        assert loaded.processor_references == stream.processor_references
+
+    def test_rpm2_replay_matches_legacy_replay(self, stream, tmp_path):
+        path = tmp_path / "columnar.rpm2"
+        PackedMissStream.from_miss_stream(stream).save(path)
+        mapped = PackedMissStream.load(path, mmap=True)
+        a = SetAssociativeCache(16 * 1024, 32, 4)
+        b = SetAssociativeCache(16 * 1024, 32, 4)
+        replay_miss_stream(stream, a)
+        replay_miss_stream(mapped, b)
+        assert a.stats.__dict__ == b.stats.__dict__
+
+    def test_corrupt_rpm2_header(self, tmp_path):
+        path = tmp_path / "trunc.rpm2"
+        path.write_bytes(b"RPM2" + b"\x00" * 4)
+        with pytest.raises(TraceFormatError, match="header"):
+            PackedMissStream.load(path)

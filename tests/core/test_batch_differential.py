@@ -1,0 +1,241 @@
+"""Differential: columnar batch replay vs the serial fused engine.
+
+The :class:`~repro.core.batch.ColumnarReplayEngine` claims bit-identical
+probe accounting to a :class:`~repro.core.engine.FusedProbeEngine`
+attached to a live :class:`~repro.cache.set_associative.SetAssociativeCache`
+replaying the same miss stream serially. These tests drive both paths
+over identical packed streams and compare every observable: cache
+stats, per-scheme probe accumulators, MRU-distance statistics, and the
+update count — across replacement policies, fill policies, writeback
+optimization, and the full lookup-scheme roster (including reduced MRU
+lists, partial-compare transforms, and the generic channel fallback).
+"""
+
+import random
+
+import pytest
+
+from repro.cache.hierarchy import MissStream, replay_miss_stream
+from repro.cache.replacement import make_replacement
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.stream import PackedMissStream
+from repro.core.banked import BankedLookup
+from repro.core.batch import (
+    ColumnarReplayEngine,
+    clear_run_delta_memo,
+    columnar_supported,
+)
+from repro.core.engine import FusedProbeEngine
+from repro.core.mru import MRULookup
+from repro.core.naive import NaiveLookup
+from repro.core.partial import PartialCompareLookup
+from repro.core.traditional import TraditionalLookup
+from repro.errors import ConfigurationError
+
+CAPACITY = 16 * 1024
+BLOCK = 32
+
+ACCUMULATOR_FIELDS = (
+    "hit_accesses",
+    "hit_probes",
+    "miss_accesses",
+    "miss_probes",
+    "writeback_accesses",
+    "writeback_probes",
+)
+
+
+def full_roster(a):
+    """Every scheme shape the fused engine special-cases, plus generic."""
+    roster = [
+        ("traditional", TraditionalLookup(a)),
+        ("naive", NaiveLookup(a)),
+        ("mru", MRULookup(a)),
+        ("partial", PartialCompareLookup(a, tag_bits=16)),
+        ("partial-swap", PartialCompareLookup(a, tag_bits=16, transform="swap")),
+        ("partial-none", PartialCompareLookup(a, tag_bits=16, transform="none")),
+        ("partial-s2", PartialCompareLookup(
+            a, tag_bits=16, subsets=2, transform="improved"
+        )),
+        ("partial-full", PartialCompareLookup(
+            a, tag_bits=16, partial_bits=16, subsets=a
+        )),
+        ("banked", BankedLookup(a)),
+    ]
+    if a > 2:
+        roster.append(("mru-m1", MRULookup(a, list_length=a - 1)))
+        roster.append(("mru-m2", MRULookup(a, list_length=a - 2)))
+    return roster
+
+
+def make_stream(seed, events=4_000, segments=2, writeback_fraction=0.25):
+    """A synthetic miss stream with flush boundaries between segments."""
+    rng = random.Random(seed)
+    stream = MissStream()
+    per_segment = events // segments
+    for segment in range(segments):
+        if segment:
+            stream.append_flush()
+        for _ in range(per_segment):
+            address = rng.randrange(0, 1 << 22) & ~31
+            code = 1 if rng.random() < writeback_fraction else 0
+            stream.events.append((code, address))
+    stream.processor_references = events * 4
+    return stream
+
+
+def serial_reference(stream, a, roster, *, wb_opt, replacement, fill, seed):
+    """Replay serially through a live cache + fused engine."""
+    cache = SetAssociativeCache(
+        CAPACITY,
+        BLOCK,
+        a,
+        replacement=make_replacement(replacement, fill=fill, seed=seed),
+    )
+    engine = FusedProbeEngine(a)
+    for label, scheme in roster:
+        engine.add_scheme(scheme, writeback_optimization=wb_opt, label=label)
+    distance = engine.add_mru_distance()
+    cache.attach_engine(engine)
+    replay_miss_stream(stream, cache)
+    engine.finalize()
+    return cache, engine, distance
+
+
+def columnar_outcome(stream, a, roster, *, wb_opt, replacement, fill, seed):
+    """Replay the same stream through the batch engine."""
+    engine = ColumnarReplayEngine(
+        CAPACITY,
+        BLOCK,
+        a,
+        roster,
+        writeback_optimization=wb_opt,
+        replacement=make_replacement(replacement, fill=fill, seed=seed),
+    )
+    return engine.replay(PackedMissStream.from_miss_stream(stream))
+
+
+def assert_identical(cache, engine, distance, outcome):
+    assert outcome.stats.__dict__ == cache.stats.__dict__
+    assert set(outcome.accumulators) == set(engine.channels)
+    for label, channel in engine.channels.items():
+        got = outcome.accumulators[label]
+        for field in ACCUMULATOR_FIELDS:
+            assert getattr(got, field) == getattr(
+                channel.accumulator, field
+            ), (label, field)
+    assert outcome.distance is not None
+    assert outcome.distance.hits == distance.hits
+    assert outcome.distance.accesses == distance.accesses
+    assert outcome.distance.counts == distance.counts
+    assert outcome.updates == distance.updates
+
+
+@pytest.mark.parametrize("a", [2, 4])
+@pytest.mark.parametrize("wb_opt", [True, False])
+def test_columnar_matches_serial_lru_random_fill(a, wb_opt):
+    roster = full_roster(a)
+    stream = make_stream(seed=100 + a)
+    cache, engine, distance = serial_reference(
+        stream, a, roster,
+        wb_opt=wb_opt, replacement="lru", fill="random", seed=0,
+    )
+    outcome = columnar_outcome(
+        stream, a, full_roster(a),
+        wb_opt=wb_opt, replacement="lru", fill="random", seed=0,
+    )
+    assert_identical(cache, engine, distance, outcome)
+
+
+@pytest.mark.parametrize("replacement", ["lru", "fifo"])
+@pytest.mark.parametrize("fill", ["random", "first"])
+def test_columnar_matches_serial_policy_grid(replacement, fill):
+    a = 4
+    roster = full_roster(a)
+    stream = make_stream(seed=7)
+    cache, engine, distance = serial_reference(
+        stream, a, roster,
+        wb_opt=True, replacement=replacement, fill=fill, seed=3,
+    )
+    outcome = columnar_outcome(
+        stream, a, full_roster(a),
+        wb_opt=True, replacement=replacement, fill=fill, seed=3,
+    )
+    assert_identical(cache, engine, distance, outcome)
+
+
+def test_columnar_matches_serial_without_numpy(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    a = 4
+    stream = make_stream(seed=11)
+    cache, engine, distance = serial_reference(
+        stream, a, full_roster(a),
+        wb_opt=True, replacement="lru", fill="random", seed=0,
+    )
+    outcome = columnar_outcome(
+        stream, a, full_roster(a),
+        wb_opt=True, replacement="lru", fill="random", seed=0,
+    )
+    assert_identical(cache, engine, distance, outcome)
+
+
+def test_warm_replay_reuses_aggregates_bit_identically():
+    a = 4
+    stream = make_stream(seed=13)
+    packed = PackedMissStream.from_miss_stream(stream)
+    engine = ColumnarReplayEngine(CAPACITY, BLOCK, a, full_roster(a))
+    cold = engine.replay(packed)
+    warm = engine.replay(packed)
+    assert warm.stats.__dict__ == cold.stats.__dict__
+    for label in cold.accumulators:
+        for field in ACCUMULATOR_FIELDS:
+            assert getattr(warm.accumulators[label], field) == getattr(
+                cold.accumulators[label], field
+            )
+    assert warm.distance.counts == cold.distance.counts
+    assert warm.run_count == cold.run_count
+
+
+def test_cold_replay_after_memo_clear_still_identical():
+    a = 2
+    stream = make_stream(seed=17, events=1_000, segments=1)
+    packed = PackedMissStream.from_miss_stream(stream)
+    engine = ColumnarReplayEngine(CAPACITY, BLOCK, a, full_roster(a))
+    first = engine.replay(packed)
+    clear_run_delta_memo()
+    packed_again = PackedMissStream.from_miss_stream(stream)
+    second = engine.replay(packed_again)
+    assert second.stats.__dict__ == first.stats.__dict__
+
+
+def test_batch_hist_reflects_per_set_runs():
+    stream = make_stream(seed=19, events=2_000, segments=2)
+    engine = ColumnarReplayEngine(CAPACITY, BLOCK, 4, full_roster(4))
+    outcome = engine.replay(PackedMissStream.from_miss_stream(stream))
+    assert outcome.run_count == outcome.batch_hist["count"]
+    assert outcome.batch_hist["total"] == stream.readins + stream.writebacks
+    assert outcome.batch_hist["min"] >= 1
+
+
+def test_random_replacement_rejected():
+    assert columnar_supported("lru")
+    assert columnar_supported("fifo")
+    assert not columnar_supported("random")
+    with pytest.raises(ConfigurationError, match="columnar"):
+        ColumnarReplayEngine(
+            CAPACITY, BLOCK, 4, full_roster(4), replacement="random"
+        )
+
+
+def test_track_distance_disabled():
+    stream = make_stream(seed=23, events=1_000, segments=1)
+    engine = ColumnarReplayEngine(
+        CAPACITY, BLOCK, 4, full_roster(4), track_distance=False
+    )
+    outcome = engine.replay(PackedMissStream.from_miss_stream(stream))
+    assert outcome.distance is None
+    cache, fused, _ = serial_reference(
+        stream, 4, full_roster(4),
+        wb_opt=True, replacement="lru", fill="random", seed=0,
+    )
+    assert outcome.stats.__dict__ == cache.stats.__dict__

@@ -1,0 +1,192 @@
+"""Columnar replay through the experiment runner: equality and reuse.
+
+The headline invariant: ``ExperimentRunner(use_columnar=True)`` must
+produce :class:`~repro.experiments.runner.ConfigResult` values equal
+to the default fused-engine path for the same workload — including the
+``engine.*`` metric counters — while reusing the packed stream and the
+batch engine's memoized aggregates across points.
+"""
+
+import os
+
+import pytest
+
+from repro.cache.artifacts import set_artifact_store
+from repro.cache.hierarchy import clear_miss_stream_cache
+from repro.experiments.runner import (
+    COLUMNAR_ENV_VAR,
+    ExperimentRunner,
+    ParallelSweepRunner,
+    SweepPoint,
+    config_result_to_dict,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.trace.synthetic import AtumWorkload
+
+
+def small_workload():
+    return AtumWorkload(segments=3, references_per_segment=4_000, seed=19)
+
+
+def engine_counters(registry):
+    return {
+        name: value
+        for name, value in registry.snapshot()["counters"].items()
+        if name.startswith("engine.")
+    }
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(COLUMNAR_ENV_VAR, raising=False)
+    monkeypatch.delenv("REPRO_STREAM_ARTIFACTS", raising=False)
+
+
+class TestResultEquality:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"mru_list_lengths": (1, 2)},
+            {"transforms": ("none", "xor", "swap"), "tag_bits": 14},
+            {"writeback_optimization": False},
+            {"extra_tag_bits": (32,)},
+        ],
+    )
+    def test_run_matches_fused_path(self, kwargs):
+        workload = small_workload()
+        fused = ExperimentRunner(workload).run("4K-16", "64K-32", 4, **kwargs)
+        columnar = ExperimentRunner(workload, use_columnar=True).run(
+            "4K-16", "64K-32", 4, **kwargs
+        )
+        assert config_result_to_dict(columnar) == config_result_to_dict(fused)
+
+    @pytest.mark.parametrize("a", [2, 4])
+    def test_run_segmented_matches_fused_path(self, a):
+        workload = small_workload()
+        fused = ExperimentRunner(workload).run_segmented(
+            "4K-16", "64K-32", a, processes=2
+        )
+        columnar = ExperimentRunner(workload, use_columnar=True).run_segmented(
+            "4K-16", "64K-32", a, processes=2
+        )
+        assert config_result_to_dict(columnar) == config_result_to_dict(fused)
+
+    def test_engine_counters_match_fused_path(self):
+        workload = small_workload()
+        fused_metrics = MetricsRegistry()
+        ExperimentRunner(
+            workload, metrics=fused_metrics, tracer=Tracer()
+        ).run("4K-16", "64K-32", 4)
+        columnar_metrics = MetricsRegistry()
+        ExperimentRunner(
+            workload,
+            metrics=columnar_metrics,
+            tracer=Tracer(),
+            use_columnar=True,
+        ).run("4K-16", "64K-32", 4)
+        fused = engine_counters(fused_metrics)
+        assert fused["engine.accesses"] > 0
+        assert engine_counters(columnar_metrics) == fused
+
+    def test_columnar_run_emits_batch_metrics(self):
+        metrics = MetricsRegistry()
+        runner = ExperimentRunner(
+            small_workload(),
+            metrics=metrics,
+            tracer=Tracer(),
+            use_columnar=True,
+        )
+        runner.run("4K-16", "64K-32", 4)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["replay.columnar_replays"] == 1
+        batch = snapshot["histograms"]["replay.batch_size"]
+        assert batch["count"] > 0
+        assert batch["min"] >= 1
+
+
+class TestEnvResolution:
+    def test_env_var_enables_columnar(self, monkeypatch):
+        monkeypatch.setenv(COLUMNAR_ENV_VAR, "1")
+        runner = ExperimentRunner(small_workload())
+        assert runner.use_columnar
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no"])
+    def test_falsy_env_values_stay_fused(self, monkeypatch, value):
+        monkeypatch.setenv(COLUMNAR_ENV_VAR, value)
+        runner = ExperimentRunner(small_workload())
+        assert not runner.use_columnar
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(COLUMNAR_ENV_VAR, "1")
+        runner = ExperimentRunner(small_workload(), use_columnar=False)
+        assert not runner.use_columnar
+
+    def test_columnar_requires_engine_path(self):
+        runner = ExperimentRunner(
+            small_workload(), use_engine=False, use_columnar=True
+        )
+        assert not runner.use_columnar
+
+
+class TestSweepEquality:
+    def test_parallel_sweep_columnar_matches_fused(self):
+        workload = small_workload()
+        points = [
+            SweepPoint("4K-16", "64K-32", 2),
+            SweepPoint("4K-16", "64K-32", 4),
+        ]
+        fused = ParallelSweepRunner(
+            workload, processes=2, metrics=MetricsRegistry(), tracer=Tracer()
+        ).run_points(points)
+        columnar = ParallelSweepRunner(
+            workload,
+            processes=2,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+            use_columnar=True,
+        ).run_points(points)
+        for fused_result, columnar_result in zip(fused, columnar):
+            assert config_result_to_dict(columnar_result) == (
+                config_result_to_dict(fused_result)
+            )
+
+    def test_sweep_env_restored_after_run(self):
+        workload = small_workload()
+        ParallelSweepRunner(
+            workload,
+            processes=1,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+            use_columnar=True,
+        ).run_points([SweepPoint("4K-16", "64K-32", 2)])
+        assert os.environ.get(COLUMNAR_ENV_VAR) is None
+
+
+class TestArtifactReuse:
+    @pytest.fixture(autouse=True)
+    def _isolate_store(self):
+        clear_miss_stream_cache()
+        yield
+        set_artifact_store(None)
+        clear_miss_stream_cache()
+
+    def test_runner_roundtrips_through_artifact_store(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_STREAM_ARTIFACTS", str(tmp_path))
+        workload = small_workload()
+        first = ExperimentRunner(workload, use_columnar=True).run(
+            "4K-16", "64K-32", 4
+        )
+        saved = list(tmp_path.iterdir())
+        assert saved, "expected a persisted stream artifact"
+        # A fresh runner with a cold in-process cache must mmap the
+        # artifact back instead of re-capturing, bit-identically.
+        clear_miss_stream_cache()
+        second = ExperimentRunner(workload, use_columnar=True).run(
+            "4K-16", "64K-32", 4
+        )
+        assert config_result_to_dict(second) == config_result_to_dict(first)
+        assert list(tmp_path.iterdir()) == saved
