@@ -3,6 +3,15 @@
 Every experiment builder returns structured data; these helpers render
 it in a form that visually parallels the paper's tables and the data
 series behind its figures, or as CSV for external plotting tools.
+
+Since the :mod:`repro.report` subsystem landed, these are thin shims:
+:func:`render_table` delegates to
+:class:`repro.report.builder.TableBuilder` under the ``"legacy"``
+preset, which reproduces the historical output byte-for-byte
+(``:.4g`` floats, left-justified columns, two-space gutter). New code
+wanting fixed-decimal columns, alignment, or markdown/HTML output
+should use :class:`~repro.report.builder.TableBuilder` directly with
+per-column specs.
 """
 
 from __future__ import annotations
@@ -10,6 +19,13 @@ from __future__ import annotations
 import csv
 import io
 from typing import Dict, List, Sequence
+
+from repro.report.builder import TableBuilder
+
+#: The historical renderer's exact behavior as a preset instance.
+#: ``none_text="None"`` matches the old ``str(value)`` path — the
+#: legacy formatter never special-cased missing values.
+_LEGACY = TableBuilder(preset="legacy", none_text="None")
 
 
 def render_table(
@@ -20,32 +36,10 @@ def render_table(
     """Monospace table with per-column auto-width.
 
     Floats are shown with four significant decimals; everything else
-    via ``str``.
+    via ``str``. Byte-compatible with the original implementation —
+    now a delegation to the ``"legacy"`` builder preset.
     """
-
-    def fmt(value: object) -> str:
-        if isinstance(value, float):
-            return f"{value:.4g}"
-        return str(value)
-
-    cells = [[fmt(v) for v in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in cells:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-
-    def line(parts: Sequence[str]) -> str:
-        return "  ".join(part.ljust(width) for part, width in zip(parts, widths)).rstrip()
-
-    out: List[str] = []
-    if title:
-        out.append(title)
-        out.append("=" * len(title))
-    out.append(line(headers))
-    out.append(line(["-" * w for w in widths]))
-    for row in cells:
-        out.append(line(row))
-    return "\n".join(out)
+    return _LEGACY.render(rows, headers=headers, title=title)
 
 
 def render_series(
@@ -70,6 +64,26 @@ def render_series(
         rows.append(row)
     heading = title or y_label
     return render_table(headers, rows, title=heading)
+
+
+def series_rows(
+    series: Dict[str, Dict[object, float]]
+) -> List[List[object]]:
+    """The union-of-x row grid behind :func:`render_series`.
+
+    Exposed so :mod:`repro.report.summary` can render the same figure
+    data through a :class:`~repro.report.builder.TableBuilder` in
+    other formats (markdown, HTML) without re-deriving the grid.
+    Missing points are ``None`` (the builder's ``none_text`` applies).
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    rows: List[List[object]] = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name].get(x))
+        rows.append(row)
+    return rows
 
 
 def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

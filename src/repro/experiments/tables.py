@@ -28,6 +28,7 @@ from repro.experiments.configs import (
 from repro.experiments.report import render_table
 from repro.experiments.runner import ConfigResult, ExperimentRunner
 from repro.hardware.costmodel import table2_designs
+from repro.report.builder import TableBuilder
 
 
 @dataclass
@@ -46,17 +47,29 @@ class Table1Row:
 class Table1:
     rows: List[Table1Row]
 
-    def render(self) -> str:
-        """ASCII rendering paralleling the paper's Table 1."""
-        return render_table(
-            ["Method", "Assoc", "Subsets", "TagMemWidth", "Hit", "Miss"],
-            [
-                (r.method, r.associativity, r.subsets, r.tag_memory_width,
-                 r.hit_probes, r.miss_probes)
-                for r in self.rows
-            ],
-            title="Table 1. Performance of Set-Associativity Implementations "
-            "(expected probes, t=16)",
+    #: Declarative layout: probe counts are fixed-decimal (``.2f``) so
+    #: the columns stay aligned against the paper's layout — the old
+    #: ``:.4g`` dropped trailing zeros (``1.0`` → ``"1"``) and wobbled.
+    COLUMNS = [
+        {"header": "Method", "key": "method"},
+        {"header": "Assoc", "key": "associativity", "align": "right"},
+        {"header": "Subsets", "key": "subsets", "align": "right"},
+        {"header": "TagMemWidth", "key": "tag_memory_width", "align": "right"},
+        {"header": "Hit", "key": "hit_probes", "format": ".2f",
+         "align": "right"},
+        {"header": "Miss", "key": "miss_probes", "format": ".2f",
+         "align": "right"},
+    ]
+
+    TITLE = (
+        "Table 1. Performance of Set-Associativity Implementations "
+        "(expected probes, t=16)"
+    )
+
+    def render(self, fmt: str = "ascii") -> str:
+        """Render paralleling the paper's Table 1 (ASCII by default)."""
+        return TableBuilder(preset="paper", fmt=fmt).render(
+            self.rows, columns=self.COLUMNS, title=self.TITLE
         )
 
 
@@ -110,8 +123,21 @@ def build_table1(tag_bits: int = 16, mru_f1_ratio: float = 0.5) -> Table1:
 class Table2:
     cells: Dict[Tuple[str, str], object]
 
-    def render(self) -> str:
-        """ASCII rendering paralleling the paper's Table 2."""
+    COLUMNS = [
+        {"header": ""},
+        {"header": "Direct", "align": "right"},
+        {"header": "Traditional", "align": "right"},
+        {"header": "MRU", "align": "right"},
+        {"header": "Partial", "align": "right"},
+    ]
+
+    TITLE = (
+        "Table 2. Trial Set-Associativity Implementations "
+        "(1M 24-bit tags, 4-way)"
+    )
+
+    def body_rows(self) -> List[List[str]]:
+        """The row grid (already-stringified cost-model cells)."""
         designs = ("direct", "traditional", "mru", "partial")
         rows = []
         for family in ("dram", "sram"):
@@ -126,11 +152,12 @@ class Table2:
                 for design in designs:
                     row.append(str(getattr(self.cells[(design, family)], attr)))
                 rows.append(row)
-        return render_table(
-            ["", "Direct", "Traditional", "MRU", "Partial"],
-            rows,
-            title="Table 2. Trial Set-Associativity Implementations "
-            "(1M 24-bit tags, 4-way)",
+        return rows
+
+    def render(self, fmt: str = "ascii") -> str:
+        """Render paralleling the paper's Table 2 (ASCII by default)."""
+        return TableBuilder(preset="paper", fmt=fmt).render(
+            self.body_rows(), columns=self.COLUMNS, title=self.TITLE
         )
 
 
@@ -154,22 +181,32 @@ class Table3:
     segments: int
     rows: List[Table3Row]
 
-    def render(self) -> str:
-        """ASCII rendering of the workload/L1 summary."""
-        body = render_table(
-            ["L1 geometry", "Measured miss ratio", "Paper miss ratio"],
-            [
-                (r.geometry, r.measured_miss_ratio,
-                 "-" if r.paper_miss_ratio is None else r.paper_miss_ratio)
-                for r in self.rows
-            ],
-            title="Table 3. Trace and level-one cache characteristics",
-        )
-        header = (
+    #: Miss ratios are probabilities; ``.4f`` keeps every row the same
+    #: width (the paper reports four decimal places).
+    COLUMNS = [
+        {"header": "L1 geometry", "key": "geometry"},
+        {"header": "Measured miss ratio", "key": "measured_miss_ratio",
+         "format": ".4f", "align": "right"},
+        {"header": "Paper miss ratio", "key": "paper_miss_ratio",
+         "format": ".4f", "align": "right"},
+    ]
+
+    TITLE = "Table 3. Trace and level-one cache characteristics"
+
+    def workload_line(self) -> str:
+        """The workload-scale preamble above the table proper."""
+        return (
             f"Workload: {self.segments} cold-start segments, "
-            f"{self.references} references total\n"
+            f"{self.references} references total"
         )
-        return header + body
+
+    def render(self, fmt: str = "ascii") -> str:
+        """Render the workload/L1 summary (ASCII by default)."""
+        body = TableBuilder(preset="paper", fmt=fmt).render(
+            self.rows, columns=self.COLUMNS, title=self.TITLE
+        )
+        separator = "\n\n" if fmt == "github" else "\n"
+        return self.workload_line() + separator + body
 
 
 def build_table3(runner: Optional[ExperimentRunner] = None) -> Table3:

@@ -6,6 +6,8 @@ run produced schema-valid artifacts before archiving them::
 
     python -m repro.obs.validate out/manifest.json --trace out/trace.jsonl
     python -m repro.obs.validate --history BENCH_simulator.json
+    python -m repro.obs.validate --report results/trajectory.json
+    python -m repro.obs.validate --dashboard dashboard.json
 
 Exit status 0 when everything validates; 1 with one error per line on
 stderr otherwise.
@@ -228,6 +230,168 @@ def validate_manifest_file(path) -> List[str]:
     return validate_manifest(data)
 
 
+#: Highest trajectory-report (``trajectory.json``) schema version this
+#: validator understands. Mirrors
+#: ``repro.report.trajectory.REPORT_SCHEMA_VERSION`` — duplicated, not
+#: imported, because :mod:`repro.obs` must not depend on the rest of
+#: the package; a cross-check test keeps them in lockstep.
+SUPPORTED_REPORT_SCHEMA_VERSION = 1
+
+#: Highest ``/dashboard.json`` schema version this validator
+#: understands. Mirrors
+#: ``repro.report.dashboard.DASHBOARD_SCHEMA_VERSION`` (same
+#: duplication rationale as above).
+SUPPORTED_DASHBOARD_SCHEMA_VERSION = 1
+
+#: Required trajectory-report keys and their accepted types.
+_REPORT_FIELDS = {
+    "schema_version": (int,),
+    "kind": (str,),
+    "benchmark": (str, type(None)),
+    "history_schema_version": (int,),
+    "entry_count": (int,),
+    "entries": (list,),
+    "series": (list,),
+    "verdict": (dict, type(None)),
+}
+
+#: Required per-point keys inside a trajectory series.
+_SERIES_POINT_FIELDS = {
+    "index": (int,),
+    "git_sha": (str, type(None)),
+    "config_hash": (str, type(None)),
+    "median_seconds": (int, float, type(None)),
+    "requests_per_second": (int, float, type(None)),
+}
+
+#: Required ``/dashboard.json`` keys and their accepted types.
+_DASHBOARD_FIELDS = {
+    "schema_version": (int,),
+    "kind": (str,),
+    "status": (dict,),
+    "jobs": (list,),
+    "trajectory": (dict, type(None)),
+}
+
+#: Required keys inside the dashboard's ``status`` block.
+_DASHBOARD_STATUS_FIELDS = {
+    "ready": (bool,),
+    "reason": (str,),
+    "draining": (bool,),
+    "queue": (dict,),
+    "breakers": (dict,),
+    "jobs": (dict,),
+    "replay": (dict,),
+    "metrics": (dict,),
+}
+
+
+def _check_version(
+    data: Dict[str, Any], supported: int, where: str
+) -> List[str]:
+    """Reject payloads newer than this validator understands."""
+    version = data.get("schema_version")
+    if isinstance(version, int) and version > supported:
+        return [
+            f"{where}: schema_version {version} is newer than the "
+            f"supported {supported}"
+        ]
+    return []
+
+
+def validate_report(data: Dict[str, Any]) -> List[str]:
+    """Structural errors in a trajectory-report dict (empty = valid)."""
+    if not isinstance(data, dict):
+        return ["report: not a JSON object"]
+    errors = _check_fields(data, _REPORT_FIELDS, "report")
+    errors.extend(
+        _check_version(data, SUPPORTED_REPORT_SCHEMA_VERSION, "report")
+    )
+    kind = data.get("kind")
+    if isinstance(kind, str) and kind != "bench-trajectory":
+        errors.append(f"report: kind {kind!r} != 'bench-trajectory'")
+    for block_index, block in enumerate(data.get("series") or []):
+        where = f"report series[{block_index}]"
+        if not isinstance(block, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        if not isinstance(block.get("name"), str):
+            errors.append(f"{where}: missing or non-string 'name'")
+        points = block.get("points")
+        if not isinstance(points, list):
+            errors.append(f"{where}: missing or non-list 'points'")
+            continue
+        for point_index, point in enumerate(points):
+            if not isinstance(point, dict):
+                errors.append(
+                    f"{where}.points[{point_index}]: not a JSON object"
+                )
+                continue
+            errors.extend(
+                _check_fields(
+                    point,
+                    _SERIES_POINT_FIELDS,
+                    f"{where}.points[{point_index}]",
+                )
+            )
+    verdict = data.get("verdict")
+    if isinstance(verdict, dict):
+        for key in ("verdict", "baseline", "candidate", "timing"):
+            if key not in verdict:
+                errors.append(f"report: verdict missing {key!r}")
+    return errors
+
+
+def validate_dashboard(data: Dict[str, Any]) -> List[str]:
+    """Structural errors in a ``/dashboard.json`` dict (empty = valid)."""
+    if not isinstance(data, dict):
+        return ["dashboard: not a JSON object"]
+    errors = _check_fields(data, _DASHBOARD_FIELDS, "dashboard")
+    errors.extend(
+        _check_version(data, SUPPORTED_DASHBOARD_SCHEMA_VERSION, "dashboard")
+    )
+    kind = data.get("kind")
+    if isinstance(kind, str) and kind != "service-dashboard":
+        errors.append(f"dashboard: kind {kind!r} != 'service-dashboard'")
+    status = data.get("status")
+    if isinstance(status, dict):
+        errors.extend(
+            _check_fields(status, _DASHBOARD_STATUS_FIELDS, "dashboard status")
+        )
+    for index, record in enumerate(data.get("jobs") or []):
+        where = f"dashboard jobs[{index}]"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        for key in ("id", "status"):
+            if key not in record:
+                errors.append(f"{where}: missing required key {key!r}")
+    trajectory = data.get("trajectory")
+    if isinstance(trajectory, dict):
+        errors.extend(validate_report(trajectory))
+    return errors
+
+
+def validate_report_file(path) -> List[str]:
+    """Structural errors in a trajectory-report JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_report(data)
+
+
+def validate_dashboard_file(path) -> List[str]:
+    """Structural errors in a dashboard-payload JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_dashboard(data)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: validate manifests / traces / bench histories; 0 iff valid."""
     parser = argparse.ArgumentParser(
@@ -246,9 +410,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--history", default=None,
         help="path to a benchmark-history JSON (BENCH_*.json) to validate",
     )
+    parser.add_argument(
+        "--report", default=None,
+        help="path to a trajectory-report JSON (trajectory.json) to validate",
+    )
+    parser.add_argument(
+        "--dashboard", default=None,
+        help="path to a dashboard-payload JSON (/dashboard.json) to validate",
+    )
     args = parser.parse_args(argv)
-    if args.manifest is None and args.trace is None and args.history is None:
-        parser.error("nothing to validate: give a manifest, --trace, or --history")
+    inputs = (
+        args.manifest, args.trace, args.history, args.report, args.dashboard
+    )
+    if all(value is None for value in inputs):
+        parser.error(
+            "nothing to validate: give a manifest, --trace, --history, "
+            "--report, or --dashboard"
+        )
     errors = []
     checked = []
     if args.manifest is not None:
@@ -260,6 +438,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.history is not None:
         errors.extend(validate_history_file(args.history))
         checked.append(args.history)
+    if args.report is not None:
+        errors.extend(validate_report_file(args.report))
+        checked.append(args.report)
+    if args.dashboard is not None:
+        errors.extend(validate_dashboard_file(args.dashboard))
+        checked.append(args.dashboard)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:

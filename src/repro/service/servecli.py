@@ -15,7 +15,9 @@ Clients submit sweep jobs as JSON::
 and poll ``GET /jobs/<id>`` for the result summary. ``/healthz``
 reports liveness, ``/readyz`` readiness (503 while draining or while
 the execution breaker is open), ``/metrics`` the full operational
-snapshot.
+snapshot, and ``/dashboard`` (HTML), ``/dashboard.txt`` (byte-stable
+ASCII), ``/dashboard.json`` the composed operator dashboard with the
+``--bench-history`` trajectory.
 
 Shutdown is the two-phase drain contract: the first SIGTERM/SIGINT
 stops admission, lets in-flight jobs finish (or abandons them to
@@ -60,6 +62,7 @@ def build_service(args) -> SimulationService:
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         job_deadline=args.job_deadline,
+        bench_history_path=args.bench_history,
     )
 
 
@@ -154,6 +157,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="replay jobs through the columnar batch engine "
         "(bit-identical results)",
+    )
+    parser.add_argument(
+        "--bench-history",
+        metavar="FILE",
+        default="BENCH_simulator.json",
+        help="benchmark trajectory history shown on /dashboard "
+        "(missing file renders as an empty trajectory)",
     )
     parser.add_argument(
         "--stream-artifacts",

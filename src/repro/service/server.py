@@ -22,11 +22,16 @@ the resilient process-pool path, guarded end to end —
 :class:`ServiceHTTPServer` exposes it over loopback HTTP: ``POST
 /jobs`` (202/400/429/503), ``GET /jobs`` and ``GET /jobs/<id>``,
 ``GET /healthz`` (process liveness), ``GET /readyz`` (flips 503
-during drain and while the execute breaker is open), and ``GET
+during drain and while the execute breaker is open), ``GET
 /metrics`` (JSON snapshot of the :mod:`repro.obs.metrics` registry
-plus queue and breaker state). The transport is stdlib
-``http.server`` — zero dependencies, threads not processes, because
-the heavy work already lives in the resilient pool.
+plus queue and breaker state), and the operator dashboard — ``GET
+/dashboard`` (HTML), ``GET /dashboard.txt`` (byte-stable ASCII), and
+``GET /dashboard.json`` (the machine-readable payload) — composing
+the live snapshot, the job table, and the benchmark trajectory from
+``bench_history_path`` via :mod:`repro.report.dashboard`. The
+transport is stdlib ``http.server`` — zero dependencies, threads not
+processes, because the heavy work already lives in the resilient
+pool.
 """
 
 from __future__ import annotations
@@ -52,6 +57,12 @@ from repro.obs.log import log
 from repro.obs.manifest import RunManifest, describe_workload
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.spans import Tracer, get_tracer
+from repro.report.dashboard import (
+    build_dashboard_payload,
+    render_dashboard_html,
+    render_dashboard_text,
+)
+from repro.report.trajectory import TrajectoryReport
 from repro.resilience.policy import PointFailure, RetryPolicy
 from repro.service.admission import AdmissionController
 from repro.service.breaker import OPEN, CircuitBreaker
@@ -129,6 +140,10 @@ class SimulationService:
         metrics: Registry for every ``service.*`` instrument;
             defaults to the process-global registry.
         tracer: Tracer receiving one ``service_job`` span per job.
+        bench_history_path: ``BENCH_simulator.json`` trajectory file
+            folded into the ``/dashboard`` views; ``None`` renders the
+            dashboard without a trajectory section, a missing file as
+            an empty history.
     """
 
     def __init__(
@@ -149,6 +164,7 @@ class SimulationService:
         job_runner: Optional[Callable[..., Any]] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        bench_history_path=None,
     ) -> None:
         self.workload = (
             workload if workload is not None else default_workload()
@@ -188,6 +204,9 @@ class SimulationService:
                 on_stall=self._on_stall,
                 metrics=self.metrics,
             )
+        self.bench_history_path = (
+            Path(bench_history_path) if bench_history_path is not None else None
+        )
         self.processes = processes
         self.retry = retry if retry is not None else RetryPolicy()
         self.job_runner = (
@@ -351,8 +370,41 @@ class SimulationService:
                 "execute": self.execute_breaker.snapshot(),
             },
             "jobs": by_status,
+            "replay": self._replay_snapshot(),
             "metrics": self.metrics.snapshot(),
         }
+
+    def _replay_snapshot(self) -> Dict[str, Any]:
+        """The replay/stream engine counters as a dedicated block.
+
+        Reading via get-or-create keeps the block present (zeroed)
+        before the first job runs, so operators see the namespace
+        instead of inferring it from absence.
+        """
+        counter_names = (
+            "replay.columnar_replays",
+            "miss_stream.artifact_hits",
+            "miss_stream.artifact_misses",
+        )
+        return {
+            "counters": {
+                name: self.metrics.counter(name).value
+                for name in counter_names
+            },
+            "batch_size": self.metrics.histogram("replay.batch_size").to_dict(),
+        }
+
+    def trajectory(self) -> Optional[TrajectoryReport]:
+        """The bench trajectory report, or ``None`` if unconfigured."""
+        if self.bench_history_path is None:
+            return None
+        return TrajectoryReport.from_file(self.bench_history_path)
+
+    def dashboard_payload(self) -> Dict[str, Any]:
+        """The composed ``/dashboard.json`` document."""
+        return build_dashboard_payload(
+            self.status(), self.jobs(), self.trajectory()
+        )
 
     # ------------------------------------------------------------------
     # execution path
@@ -522,20 +574,48 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         """Route request logs through the structured logger (debug)."""
         log.debug("service.http", line=format % args)
 
-    def _send_json(
-        self, code: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    def _send_body(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(
+        self, code: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._send_body(code, body, "application/json", headers)
+
+    def _send_dashboard(self, view: str) -> None:
+        """Serve one dashboard rendering.
+
+        The dashboard stays up while draining — that is exactly when
+        an operator wants it — but carries the readiness verdict as
+        its HTTP code (503, like ``/readyz``) so probes and dashboards
+        agree.
+        """
+        payload = self.service.dashboard_payload()
+        code = 200 if payload["status"]["ready"] else 503
+        if view == "json":
+            self._send_json(code, payload)
+        elif view == "txt":
+            body = render_dashboard_text(payload).encode("ascii")
+            self._send_body(code, body, "text/plain; charset=us-ascii")
+        else:
+            body = render_dashboard_html(payload).encode("utf-8")
+            self._send_body(code, body, "text/html; charset=utf-8")
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Serve /healthz, /readyz, /metrics, /jobs, /jobs/<id>."""
+        """Serve /healthz, /readyz, /metrics, /dashboard*, /jobs[/<id>]."""
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, {"ok": True})
@@ -546,6 +626,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             )
         elif path == "/metrics":
             self._send_json(200, self.service.status())
+        elif path == "/dashboard":
+            self._send_dashboard("html")
+        elif path == "/dashboard.txt":
+            self._send_dashboard("txt")
+        elif path == "/dashboard.json":
+            self._send_dashboard("json")
         elif path == "/jobs":
             self._send_json(200, {"jobs": self.service.jobs()})
         elif path.startswith("/jobs/"):

@@ -8,10 +8,15 @@ from repro.obs.bench import BENCH_HISTORY_SCHEMA_VERSION, BenchHistory
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest
 from repro.obs.spans import Tracer
 from repro.obs.validate import (
+    SUPPORTED_DASHBOARD_SCHEMA_VERSION,
+    SUPPORTED_REPORT_SCHEMA_VERSION,
     main,
+    validate_dashboard,
     validate_history,
     validate_history_file,
     validate_manifest,
+    validate_manifest_file,
+    validate_report,
     validate_trace_file,
 )
 
@@ -171,3 +176,168 @@ class TestCliArguments:
             ]
         ) == 0
         assert "schema-valid" in capsys.readouterr().out
+
+
+def make_report(**overrides):
+    """A minimal schema-valid trajectory-report payload."""
+    report = {
+        "schema_version": 1,
+        "kind": "bench-trajectory",
+        "benchmark": "simulator_throughput",
+        "history_schema_version": 1,
+        "entry_count": 1,
+        "entries": [{"index": 0, "git_sha": "a" * 40, "config_hash": "feed"}],
+        "series": [
+            {
+                "name": "l2_replay_fused_engine",
+                "points": [
+                    {
+                        "index": 0,
+                        "git_sha": "a" * 40,
+                        "config_hash": "feed",
+                        "median_seconds": 1.0,
+                        "ci_low_seconds": 0.9,
+                        "ci_high_seconds": 1.1,
+                        "requests_per_second": 4000.0,
+                    }
+                ],
+            }
+        ],
+        "verdict": {
+            "verdict": "ok",
+            "baseline": {"index": 0},
+            "candidate": {"index": 0},
+            "timing": [],
+            "probe_drift": [],
+            "notes": [],
+        },
+    }
+    report.update(overrides)
+    return report
+
+
+def make_dashboard(**overrides):
+    """A minimal schema-valid dashboard payload."""
+    document = {
+        "schema_version": 1,
+        "kind": "service-dashboard",
+        "status": {
+            "ready": True,
+            "reason": "ok",
+            "draining": False,
+            "queue": {"depth": 0, "capacity": 16},
+            "breakers": {},
+            "jobs": {},
+            "replay": {"counters": {}, "batch_size": {"count": 0}},
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        },
+        "jobs": [{"id": "job-1", "status": "done"}],
+        "trajectory": None,
+    }
+    document.update(overrides)
+    return document
+
+
+class TestReportValidation:
+    def test_valid_report_passes(self):
+        assert validate_report(make_report()) == []
+
+    def test_empty_report_passes(self):
+        report = make_report(
+            entry_count=0, entries=[], series=[], verdict=None
+        )
+        assert validate_report(report) == []
+
+    def test_missing_key_is_pointed(self):
+        report = make_report()
+        del report["series"]
+        errors = validate_report(report)
+        assert any("missing required key 'series'" in e for e in errors)
+
+    def test_wrong_kind_rejected(self):
+        errors = validate_report(make_report(kind="something-else"))
+        assert any("bench-trajectory" in e for e in errors)
+
+    def test_newer_schema_version_rejected(self):
+        errors = validate_report(
+            make_report(schema_version=SUPPORTED_REPORT_SCHEMA_VERSION + 1)
+        )
+        assert any("newer than the supported" in e for e in errors)
+
+    def test_malformed_series_point_located(self):
+        report = make_report()
+        del report["series"][0]["points"][0]["median_seconds"]
+        errors = validate_report(report)
+        assert any(
+            "series[0].points[0]" in e and "median_seconds" in e
+            for e in errors
+        )
+
+    def test_incomplete_verdict_rejected(self):
+        report = make_report()
+        del report["verdict"]["timing"]
+        errors = validate_report(report)
+        assert any("verdict missing 'timing'" in e for e in errors)
+
+    def test_not_an_object(self):
+        assert validate_report([]) == ["report: not a JSON object"]
+
+
+class TestDashboardValidation:
+    def test_valid_dashboard_passes(self):
+        assert validate_dashboard(make_dashboard()) == []
+
+    def test_nested_trajectory_is_validated_too(self):
+        bad_report = make_report(kind="wrong")
+        errors = validate_dashboard(make_dashboard(trajectory=bad_report))
+        assert any("bench-trajectory" in e for e in errors)
+
+    def test_missing_status_block_fields(self):
+        document = make_dashboard()
+        del document["status"]["replay"]
+        errors = validate_dashboard(document)
+        assert any(
+            "dashboard status" in e and "'replay'" in e for e in errors
+        )
+
+    def test_job_rows_need_identity(self):
+        errors = validate_dashboard(make_dashboard(jobs=[{"points": 1}]))
+        assert any("jobs[0]" in e and "'id'" in e for e in errors)
+
+    def test_newer_schema_version_rejected(self):
+        errors = validate_dashboard(
+            make_dashboard(
+                schema_version=SUPPORTED_DASHBOARD_SCHEMA_VERSION + 1
+            )
+        )
+        assert any("newer than the supported" in e for e in errors)
+
+
+class TestReportCliFlags:
+    def test_report_and_dashboard_flags(self, tmp_path, capsys):
+        report_path = tmp_path / "trajectory.json"
+        report_path.write_text(json.dumps(make_report()))
+        dashboard_path = tmp_path / "dashboard.json"
+        dashboard_path.write_text(json.dumps(make_dashboard()))
+        assert main(
+            [
+                "--report", str(report_path),
+                "--dashboard", str(dashboard_path),
+            ]
+        ) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+    def test_invalid_report_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "trajectory.json"
+        path.write_text(json.dumps(make_report(kind="wrong")))
+        assert main(["--report", str(path)]) == 1
+        assert "bench-trajectory" in capsys.readouterr().err
+
+    def test_bench_manifest_validates(self, tmp_path):
+        # The manifest run_benchmarks writes next to the history file
+        # is an ordinary RunManifest; the positional argument covers it.
+        manifest = RunManifest.build(
+            tool="run_benchmarks", config={"references": 4000}
+        )
+        path = manifest.write(tmp_path / "BENCH_simulator.manifest.json")
+        assert validate_manifest_file(path) == []

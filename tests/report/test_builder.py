@@ -1,0 +1,238 @@
+"""The declarative table builder: cascade, formats, and legacy parity."""
+
+import pytest
+
+from repro.report.builder import (
+    DEFAULTS,
+    PRESETS,
+    SPARK_CHARS,
+    TableBuilder,
+    register_preset,
+    sparkline,
+)
+
+
+class Point:
+    """Attribute-style row object."""
+
+    def __init__(self, name, value):
+        self.name = name
+        self.value = value
+
+
+class TestCascade:
+    def test_defaults_apply(self):
+        builder = TableBuilder()
+        assert builder.config["fmt"] == "ascii"
+        assert builder.config["float_format"] == ".4g"
+
+    def test_preset_overrides_defaults(self):
+        builder = TableBuilder(preset="github")
+        assert builder.config["fmt"] == "github"
+
+    def test_constructor_overrides_preset(self):
+        builder = TableBuilder(preset="github", fmt="csv")
+        assert builder.config["fmt"] == "csv"
+
+    def test_render_overrides_constructor(self):
+        builder = TableBuilder(preset="github")
+        text = builder.render([("a", 1)], headers=["x", "y"], fmt="csv")
+        assert text == "x,y\na,1\n"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            TableBuilder(preset="nope")
+
+    def test_unknown_option_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            TableBuilder(colour="red")
+        with pytest.raises(ValueError, match="unknown option"):
+            TableBuilder().render([], headers=["x"], colour="red")
+        with pytest.raises(ValueError, match="unknown option"):
+            register_preset("bad", {"colour": "red"})
+
+    def test_register_preset_round_trip(self):
+        register_preset("tight", {"separator": " "})
+        try:
+            builder = TableBuilder(preset="tight")
+            text = builder.render([("a", "b")], headers=["x", "y"])
+            assert "a b" in text
+        finally:
+            PRESETS.pop("tight", None)
+
+    def test_runtime_columns_replace_wholesale(self):
+        builder = TableBuilder(columns=[{"header": "old"}])
+        text = builder.render(
+            [("v",)], columns=[{"header": "new"}]
+        )
+        assert "new" in text and "old" not in text
+
+
+class TestLookupAndFormat:
+    def test_mapping_dotted_key(self):
+        builder = TableBuilder(
+            columns=[{"header": "region", "key": "meta.region"}]
+        )
+        text = builder.render([{"meta": {"region": "us-1"}}])
+        assert "us-1" in text
+
+    def test_attribute_lookup(self):
+        builder = TableBuilder(
+            columns=[
+                {"header": "name", "key": "name"},
+                {"header": "value", "key": "value"},
+            ]
+        )
+        text = builder.render([Point("alpha", 3)])
+        assert "alpha" in text and "3" in text
+
+    def test_missing_key_renders_none_text(self):
+        builder = TableBuilder(columns=[{"header": "x", "key": "absent"}])
+        assert "-" in builder.render([{}])
+        assert "?" in builder.render([{}], none_text="?")
+
+    def test_per_column_format_fixes_trailing_zeros(self):
+        # The historical :.4g bug: 1.0 -> "1" wobbles the column.
+        builder = TableBuilder()
+        legacy = builder.render([(1.0,), (1.25,)], headers=["p"])
+        assert "1\n" in legacy + "\n"
+        fixed = builder.render(
+            [(1.0,), (1.25,)], columns=[{"header": "p", "format": ".2f"}]
+        )
+        assert "1.00" in fixed and "1.25" in fixed
+
+    def test_callable_format(self):
+        builder = TableBuilder(
+            columns=[{"header": "sha", "format": lambda v: str(v)[:4]}]
+        )
+        assert "abcd" in builder.render([("abcdef0123",)])
+
+    def test_bools_are_not_number_formatted(self):
+        builder = TableBuilder(
+            columns=[{"header": "flag", "format": ".2f"}]
+        )
+        assert "True" in builder.render([(True,)])
+
+
+class TestFormats:
+    ROWS = [("naive", 2.5), ("mru", 1.0)]
+
+    def test_ascii_alignment_and_title(self):
+        builder = TableBuilder(
+            columns=[
+                {"header": "scheme", "key": None},
+                {"header": "probes", "align": "right", "format": ".2f"},
+            ]
+        )
+        text = builder.render(self.ROWS, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert lines[-1].endswith("1.00")
+
+    def test_github_rules_follow_alignment(self):
+        builder = TableBuilder(
+            fmt="github",
+            columns=[
+                {"header": "scheme"},
+                {"header": "probes", "align": "right"},
+                {"header": "note", "align": "center"},
+            ],
+        )
+        text = builder.render([("a", 1, "b")], title="T")
+        assert text.splitlines()[0] == "**T**"
+        assert "| --- | ---: | :---: |" in text
+
+    def test_github_escapes_pipes(self):
+        builder = TableBuilder(fmt="github")
+        text = builder.render([("a|b",)], headers=["x"])
+        assert "a\\|b" in text
+
+    def test_csv_quotes_via_csv_module(self):
+        builder = TableBuilder(fmt="csv")
+        text = builder.render([('say "hi"', 1)], headers=["a", "b"])
+        assert '"say ""hi""",1' in text
+
+    def test_html_escapes_and_aligns(self):
+        builder = TableBuilder(
+            fmt="html",
+            columns=[
+                {"header": "name"},
+                {"header": "n", "align": "right"},
+            ],
+        )
+        text = builder.render([("<b>", 1)], title="T")
+        assert "&lt;b&gt;" in text
+        assert '<td style="text-align:right">1</td>' in text
+        assert "<caption>T</caption>" in text
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown table format"):
+            TableBuilder().render([], headers=["x"], fmt="latex")
+
+    def test_headers_required_without_columns(self):
+        with pytest.raises(ValueError, match="no columns"):
+            TableBuilder().render([("a",)])
+
+
+class TestLegacyParity:
+    """The "legacy" preset reproduces the historical renderer."""
+
+    def _old_render_table(self, headers, rows, title=""):
+        # The pre-builder implementation, verbatim.
+        def fmt(value):
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in rows]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(parts):
+            return "  ".join(
+                part.ljust(width) for part, width in zip(parts, widths)
+            ).rstrip()
+
+        out = []
+        if title:
+            out.append(title)
+            out.append("=" * len(title))
+        out.append(line(headers))
+        out.append(line(["-" * w for w in widths]))
+        for row in cells:
+            out.append(line(row))
+        return "\n".join(out)
+
+    def test_byte_for_byte(self):
+        from repro.experiments.report import render_table
+
+        headers = ["scheme", "hits", "total", "note"]
+        rows = [
+            ("naive", 0.123456, 4, "x"),
+            ("mru", 1.0, 17, None),
+            ("partial", 2.5, 100000, True),
+        ]
+        for title in ("", "Probes per access"):
+            assert render_table(headers, rows, title=title) == (
+                self._old_render_table(headers, rows, title=title)
+            )
+
+
+class TestSparkline:
+    def test_scales_to_charset(self):
+        line = sparkline([0.0, 1.0])
+        assert line == SPARK_CHARS[0] + SPARK_CHARS[-1]
+
+    def test_none_is_space_and_flat_is_middle(self):
+        assert sparkline([None, None]) == "  "
+        line = sparkline([3.0, None, 3.0])
+        middle = SPARK_CHARS[len(SPARK_CHARS) // 2]
+        assert line == middle + " " + middle
+
+    def test_is_pure_ascii(self):
+        line = sparkline(list(range(50)))
+        assert line.encode("ascii")
+        assert len(line) == 50

