@@ -422,11 +422,17 @@ def _run_sweep_point(payload):
     stream deterministically from the shared workload seed (or
     inherits the parent's memoized copy on fork platforms), so
     results are bit-identical to a serial run.
+
+    Spans go to the *process-global* tracer — inside a pool worker
+    that is the per-task tracer the executor guard installs, so the
+    point's ``l2_replay``/``split_stream`` spans ship back to the
+    parent under the submitting request's trace. Metrics stay
+    per-point (the snapshot is part of the return value).
     """
     workload, use_engine, point = payload
     runner = ExperimentRunner(
         workload, use_engine=use_engine,
-        metrics=MetricsRegistry(), tracer=Tracer(),
+        metrics=MetricsRegistry(), tracer=get_tracer(),
     )
     result = runner.run(
         point.l1,
@@ -1123,6 +1129,7 @@ class ParallelSweepRunner:
             on_result=on_result,
             on_failure=on_failure,
             validator=_validate_point_result,
+            tracer=self.tracer,
         )
         log.debug(
             "sweep.start_resilient", points=len(points), tasks=len(tasks),

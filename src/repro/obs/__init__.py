@@ -41,6 +41,17 @@ from repro.obs.bench import (
     measure,
 )
 from repro.obs.compare import compare_entries
+from repro.obs.context import (
+    IdSource,
+    TraceContext,
+    activate,
+    current_context,
+    get_id_source,
+    new_id,
+    new_trace,
+    reset_id_source,
+    set_id_source,
+)
 from repro.obs.jsonl import JsonlWriter, read_jsonl, write_jsonl
 from repro.obs.log import StructuredLogger, log
 from repro.obs.manifest import (
@@ -55,6 +66,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileHistogram,
     get_metrics,
     set_metrics,
 )
@@ -66,7 +78,13 @@ from repro.obs.spans import (
     set_tracer,
     span,
 )
-from repro.obs.trace_report import aggregate_trace, build_report, merge_aggregates
+from repro.obs.trace_report import (
+    aggregate_trace,
+    build_job_report,
+    build_report,
+    build_span_tree,
+    merge_aggregates,
+)
 from repro.obs.validate import (
     validate_history,
     validate_history_file,
@@ -82,30 +100,42 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "IdSource",
     "JsonlWriter",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "ProgressReporter",
+    "QuantileHistogram",
     "RunManifest",
     "SpanRecord",
     "StructuredLogger",
     "TimingResult",
+    "TraceContext",
     "Tracer",
+    "activate",
     "aggregate_trace",
     "bootstrap_ci",
+    "build_job_report",
     "build_report",
+    "build_span_tree",
     "compare_entries",
     "config_hash",
+    "current_context",
     "describe_workload",
     "environment_fingerprint",
+    "get_id_source",
     "get_metrics",
     "get_tracer",
     "git_sha",
     "log",
     "measure",
     "merge_aggregates",
+    "new_id",
+    "new_trace",
     "progress_enabled",
     "read_jsonl",
+    "reset_id_source",
+    "set_id_source",
     "set_metrics",
     "set_tracer",
     "span",

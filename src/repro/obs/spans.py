@@ -1,11 +1,21 @@
 """Tracing spans: nestable wall+CPU timers with a JSONL trace format.
 
 A *span* measures one named phase of work — an L1 capture, an L2
-replay, a table build. Spans nest (a stack per :class:`Tracer`), are
-based on the monotonic clocks (``time.perf_counter`` for wall time,
-``time.process_time`` for CPU time — both immune to system clock
-steps), and record their attributes, depth, and full path through the
-enclosing spans. Durations are *inclusive* of child spans.
+replay, a table build. Spans nest (a per-thread stack via
+:mod:`contextvars`), are based on the monotonic clocks
+(``time.perf_counter`` for wall time, ``time.process_time`` for CPU
+time — both immune to system clock steps), and record their
+attributes, depth, and full path through the enclosing spans.
+Durations are *inclusive* of child spans.
+
+Every record also carries **causal identity** from
+:mod:`repro.obs.context`: a ``trace_id`` shared by all spans of one
+request, its own ``span_id``, and the ``parent_span_id`` it nests
+under — taken from the enclosing span, or from the ambient
+:class:`~repro.obs.context.TraceContext` when the span is the first
+of its thread (the cross-thread and cross-process re-parenting hook).
+A top-level span with no ambient context roots a fresh trace of its
+own, so every record is attributable.
 
 Usage::
 
@@ -18,16 +28,28 @@ Usage::
     get_tracer().write_jsonl("trace.jsonl")   # one record per span
     print(get_tracer().flame())               # ASCII flame summary
 
+A span that unwinds on an exception is still recorded, stamped with
+``error=True`` and the exception type in its attributes.
+
 Instrumentation discipline: spans wrap *phases*, never per-access
 work. Nothing in this module is invoked from the simulator hot path.
 """
 
 from __future__ import annotations
 
+import contextvars
+import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    new_id,
+    reset_context,
+    set_context,
+)
 from repro.obs.jsonl import write_jsonl
 
 
@@ -43,13 +65,20 @@ class SpanRecord:
             created (monotonic; comparable across records of one trace).
         wall_seconds: Elapsed wall time, inclusive of children.
         cpu_seconds: Elapsed process CPU time, inclusive of children.
-        attrs: The keyword attributes the span was opened with.
+        attrs: The keyword attributes the span was opened with, plus
+            ``error``/``error_type`` when the span unwound on an
+            exception.
         index: Completion order within the tracer (0-based).
+        trace_id: Causal trace this span belongs to.
+        span_id: This span's own identity within the trace.
+        parent_span_id: The span this one nests under (``None`` for a
+            trace root).
     """
 
     __slots__ = (
         "name", "path", "depth", "start",
         "wall_seconds", "cpu_seconds", "attrs", "index",
+        "trace_id", "span_id", "parent_span_id",
     )
 
     def __init__(
@@ -62,6 +91,9 @@ class SpanRecord:
         cpu_seconds: float,
         attrs: Dict[str, Any],
         index: int,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
     ) -> None:
         self.name = name
         self.path = path
@@ -71,6 +103,9 @@ class SpanRecord:
         self.cpu_seconds = cpu_seconds
         self.attrs = attrs
         self.index = index
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form, as written to the JSONL trace."""
@@ -83,7 +118,31 @@ class SpanRecord:
             "cpu_seconds": self.cpu_seconds,
             "attrs": self.attrs,
             "index": self.index,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from its :meth:`to_dict` form.
+
+        Tolerates legacy records without the causal-identity fields
+        (they come back as ``None``) so pre-context traces still load.
+        """
+        return cls(
+            name=data["name"],
+            path=data["path"],
+            depth=data["depth"],
+            start=data["start"],
+            wall_seconds=data["wall_seconds"],
+            cpu_seconds=data["cpu_seconds"],
+            attrs=dict(data.get("attrs") or {}),
+            index=data.get("index", 0),
+            trace_id=data.get("trace_id"),
+            span_id=data.get("span_id"),
+            parent_span_id=data.get("parent_span_id"),
+        )
 
     def __repr__(self) -> str:
         return (
@@ -95,7 +154,11 @@ class SpanRecord:
 class _ActiveSpan:
     """Context manager for one in-flight span (created by ``Tracer.span``)."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_wall0", "_cpu0", "_path", "_depth")
+    __slots__ = (
+        "_tracer", "name", "attrs", "_wall0", "_cpu0", "_path", "_depth",
+        "trace_id", "span_id", "parent_span_id",
+        "_stack_token", "_context_token",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
         self._tracer = tracer
@@ -103,23 +166,55 @@ class _ActiveSpan:
         self.attrs = attrs
 
     def __enter__(self) -> "_ActiveSpan":
-        """Start the clocks and push onto the tracer's span stack."""
-        stack = self._tracer._stack
+        """Start the clocks, resolve causal identity, push the stack.
+
+        The parent is the enclosing span of *this* context (thread);
+        with no enclosing span, the ambient
+        :class:`~repro.obs.context.TraceContext` — the hook through
+        which a request's root span adopts worker threads — and with
+        neither, the span roots a fresh trace.
+        """
+        tracer = self._tracer
+        stack: Tuple["_ActiveSpan", ...] = tracer._stack_var.get() or ()
         self._depth = len(stack)
-        parent = stack[-1]._path if stack else ""
-        self._path = f"{parent}/{self.name}" if parent else self.name
-        stack.append(self)
+        parent = stack[-1] if stack else None
+        self._path = f"{parent._path}/{self.name}" if parent else self.name
+        self.span_id = new_id()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_span_id = parent.span_id
+        else:
+            ambient = current_context()
+            if ambient is not None:
+                self.trace_id = ambient.trace_id
+                self.parent_span_id = ambient.span_id
+            else:
+                self.trace_id = new_id()
+                self.parent_span_id = None
+        self._stack_token = tracer._stack_var.set(stack + (self,))
+        self._context_token = set_context(
+            TraceContext(self.trace_id, self.span_id, self.parent_span_id)
+        )
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        """Stop the clocks, pop the stack, and record the span."""
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Stop the clocks, pop the stack, and record the span.
+
+        A span unwinding on an exception is stamped with
+        ``error=True`` and the exception type — failures must be
+        visible in the trace, not recorded as ordinary completions.
+        """
         wall = time.perf_counter() - self._wall0
         cpu = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.attrs["error"] = True
+            self.attrs["error_type"] = exc_type.__name__
         tracer = self._tracer
-        tracer._stack.pop()
-        tracer.records.append(
+        reset_context(self._context_token)
+        tracer._stack_var.reset(self._stack_token)
+        tracer._record(
             SpanRecord(
                 name=self.name,
                 path=self._path,
@@ -128,7 +223,10 @@ class _ActiveSpan:
                 wall_seconds=wall,
                 cpu_seconds=cpu,
                 attrs=self.attrs,
-                index=len(tracer.records),
+                index=0,  # assigned under the tracer lock
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_span_id=self.parent_span_id,
             )
         )
 
@@ -136,15 +234,25 @@ class _ActiveSpan:
 class Tracer:
     """Collects completed :class:`SpanRecord`\\ s for one process.
 
-    A tracer is cheap (a list and a stack) and not thread-safe; use one
-    per thread, or — the common case — the process-global tracer from
-    :func:`get_tracer`. Records accumulate until :meth:`clear`.
+    The active-span stack lives in a :mod:`contextvars` variable, so
+    concurrent threads (e.g. ``repro-serve`` handler threads) each
+    nest their own spans without corrupting each other's parent
+    paths; the completed-record list is guarded by a lock. Records
+    accumulate until :meth:`clear`.
     """
 
     def __init__(self) -> None:
         self.records: List[SpanRecord] = []
-        self._stack: List[_ActiveSpan] = []
+        self._lock = threading.Lock()
+        self._stack_var: "contextvars.ContextVar[Optional[Tuple[_ActiveSpan, ...]]]" = (
+            contextvars.ContextVar("repro_tracer_stack", default=None)
+        )
         self._epoch = time.perf_counter()
+
+    @property
+    def _stack(self) -> List[_ActiveSpan]:
+        """The *current context's* open spans (compat/introspection)."""
+        return list(self._stack_var.get() or ())
 
     def span(self, name: str, **attrs: Any) -> _ActiveSpan:
         """Open a span named ``name`` as a context manager.
@@ -153,6 +261,78 @@ class Tracer:
         verbatim in the trace (keep them JSON-representable).
         """
         return _ActiveSpan(self, name, attrs)
+
+    def _record(self, record: SpanRecord) -> SpanRecord:
+        """Append one completed record, assigning its index atomically."""
+        with self._lock:
+            record.index = len(self.records)
+            self.records.append(record)
+        return record
+
+    def record_span(
+        self,
+        name: str,
+        wall_seconds: float,
+        cpu_seconds: float = 0.0,
+        attrs: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
+        start: Optional[float] = None,
+    ) -> SpanRecord:
+        """Record an already-measured span with explicit identity.
+
+        The synthesis hook for phases that cannot be a ``with`` block
+        because they cross threads: the service's queue-wait interval
+        (enqueued on a handler thread, dequeued on a worker thread)
+        and the end-to-end ``job`` root span are both recorded here
+        from their own stamps. ``span_id`` defaults to a fresh id;
+        ``start`` defaults to ``wall_seconds`` ago.
+        """
+        now = time.perf_counter() - self._epoch
+        return self._record(
+            SpanRecord(
+                name=name,
+                path=name,
+                depth=0,
+                start=now - wall_seconds if start is None else start,
+                wall_seconds=wall_seconds,
+                cpu_seconds=cpu_seconds,
+                attrs=dict(attrs or {}),
+                index=0,
+                trace_id=trace_id,
+                span_id=span_id if span_id is not None else new_id(),
+                parent_span_id=parent_span_id,
+            )
+        )
+
+    def adopt(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Fold another process's span records into this tracer.
+
+        Takes :meth:`SpanRecord.to_dict` dicts (the pool executor
+        ships them back from workers), preserves their causal
+        identity, paths, and durations, and re-indexes them locally.
+        ``start`` offsets are worker-relative and kept as-is — tree
+        assembly goes by span ids, not clocks. Returns the count.
+        """
+        count = 0
+        for data in records:
+            self._record(SpanRecord.from_dict(data))
+            count += 1
+        return count
+
+    def snapshot_records(self) -> List[SpanRecord]:
+        """A consistent copy of the completed records (lock-guarded)."""
+        with self._lock:
+            return list(self.records)
+
+    def records_for_trace(self, trace_id: str) -> List[SpanRecord]:
+        """Completed records belonging to ``trace_id``, in index order."""
+        return [
+            record
+            for record in self.snapshot_records()
+            if record.trace_id == trace_id
+        ]
 
     def phase_timings(self) -> Dict[str, Dict[str, float]]:
         """Aggregate completed spans by name.
@@ -163,7 +343,7 @@ class Tracer:
             embedded in run manifests.
         """
         phases: Dict[str, Dict[str, float]] = {}
-        for record in self.records:
+        for record in self.snapshot_records():
             entry = phases.setdefault(
                 record.name,
                 {"count": 0, "wall_seconds": 0.0, "cpu_seconds": 0.0},
@@ -181,7 +361,8 @@ class Tracer:
         of a long session always yields a complete, valid trace.
         """
         return write_jsonl(
-            Path(path), (record.to_dict() for record in self.records)
+            Path(path),
+            (record.to_dict() for record in self.snapshot_records()),
         )
 
     def flame(self, width: int = 40) -> str:
@@ -195,7 +376,8 @@ class Tracer:
         """
         totals: Dict[str, List[float]] = {}
         order: List[str] = []
-        for record in sorted(self.records, key=lambda r: (r.start, r.index)):
+        records = self.snapshot_records()
+        for record in sorted(records, key=lambda r: (r.start, r.index)):
             if record.path not in totals:
                 totals[record.path] = [0.0, 0]
                 order.append(record.path)
@@ -216,7 +398,8 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop every completed record (open spans are unaffected)."""
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
 
     def __repr__(self) -> str:
         return (

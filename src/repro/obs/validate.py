@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -49,6 +50,17 @@ _SPAN_FIELDS = {
     "attrs": (dict,),
     "index": (int,),
 }
+
+#: Causal-identity keys: optional (legacy traces predate them), but
+#: type- and format-checked when present.
+_SPAN_ID_FIELDS = {
+    "trace_id": (str, type(None)),
+    "span_id": (str, type(None)),
+    "parent_span_id": (str, type(None)),
+}
+
+#: The id format :mod:`repro.obs.context` emits: 16 lowercase hex.
+_ID_PATTERN = re.compile(r"[0-9a-f]{16}")
 
 
 def _check_fields(
@@ -105,7 +117,13 @@ def validate_manifest(data: Dict[str, Any]) -> List[str]:
 
 
 def validate_span(record: Dict[str, Any], where: str = "span") -> List[str]:
-    """Structural errors in one trace record (empty list = valid)."""
+    """Structural errors in one trace record (empty list = valid).
+
+    The causal-identity fields (``trace_id``/``span_id``/
+    ``parent_span_id``) are optional — traces written before trace
+    context existed stay valid — but when present they must be
+    ``None`` or a 16-lowercase-hex id.
+    """
     if not isinstance(record, dict):
         return [f"{where}: not a JSON object"]
     errors = _check_fields(record, _SPAN_FIELDS, where)
@@ -116,6 +134,19 @@ def validate_span(record: Dict[str, Any], where: str = "span") -> List[str]:
             errors.append(f"{where}: negative wall_seconds")
         if not record["path"].endswith(record["name"]):
             errors.append(f"{where}: path does not end with span name")
+    for key, types in _SPAN_ID_FIELDS.items():
+        if key not in record:
+            continue
+        value = record[key]
+        if not isinstance(value, types):
+            errors.append(
+                f"{where}: key {key!r} has type {type(value).__name__}, "
+                f"expected one of {[t.__name__ for t in types]}"
+            )
+        elif isinstance(value, str) and not _ID_PATTERN.fullmatch(value):
+            errors.append(
+                f"{where}: key {key!r} is not a 16-hex-char id: {value!r}"
+            )
     return errors
 
 
@@ -240,8 +271,8 @@ SUPPORTED_REPORT_SCHEMA_VERSION = 1
 #: Highest ``/dashboard.json`` schema version this validator
 #: understands. Mirrors
 #: ``repro.report.dashboard.DASHBOARD_SCHEMA_VERSION`` (same
-#: duplication rationale as above).
-SUPPORTED_DASHBOARD_SCHEMA_VERSION = 1
+#: duplication rationale as above). v2 added ``status.latency``.
+SUPPORTED_DASHBOARD_SCHEMA_VERSION = 2
 
 #: Required trajectory-report keys and their accepted types.
 _REPORT_FIELDS = {
@@ -358,6 +389,15 @@ def validate_dashboard(data: Dict[str, Any]) -> List[str]:
         errors.extend(
             _check_fields(status, _DASHBOARD_STATUS_FIELDS, "dashboard status")
         )
+        # The latency quantile block arrived with schema v2; v1
+        # payloads without it stay valid.
+        version = data.get("schema_version")
+        if isinstance(version, int) and version >= 2:
+            if not isinstance(status.get("latency"), dict):
+                errors.append(
+                    "dashboard status: missing or non-object 'latency' "
+                    "(required from schema v2)"
+                )
     for index, record in enumerate(data.get("jobs") or []):
         where = f"dashboard jobs[{index}]"
         if not isinstance(record, dict):
@@ -370,6 +410,80 @@ def validate_dashboard(data: Dict[str, Any]) -> List[str]:
     if isinstance(trajectory, dict):
         errors.extend(validate_report(trajectory))
     return errors
+
+
+#: Required ``/jobs/<id>/trace`` keys and their accepted types.
+_JOB_TRACE_FIELDS = {
+    "job": (str,),
+    "trace_id": (str, type(None)),
+    "status": (str,),
+    "spans": (int,),
+    "tree": (list,),
+}
+
+
+def _validate_tree_node(
+    node: Any, where: str, errors: List[str]
+) -> int:
+    """Recursively check one span-tree node; returns spans counted."""
+    if not isinstance(node, dict):
+        errors.append(f"{where}: not a JSON object")
+        return 0
+    record = {k: v for k, v in node.items() if k != "children"}
+    errors.extend(validate_span(record, where=where))
+    children = node.get("children")
+    if not isinstance(children, list):
+        errors.append(f"{where}: missing or non-list 'children'")
+        return 1
+    count = 1
+    for index, child in enumerate(children):
+        child_where = f"{where}.children[{index}]"
+        if isinstance(child, dict):
+            parent = node.get("span_id")
+            if parent is not None and child.get("parent_span_id") != parent:
+                errors.append(
+                    f"{child_where}: parent_span_id does not match the "
+                    "enclosing node's span_id"
+                )
+        count += _validate_tree_node(child, child_where, errors)
+    return count
+
+
+def validate_job_trace(data: Dict[str, Any]) -> List[str]:
+    """Structural errors in a ``/jobs/<id>/trace`` dict (empty = valid).
+
+    Checks the envelope, then every node of the span tree as a span
+    record (with the optional causal-identity fields), that children
+    really nest under their parent's ``span_id``, and that the
+    ``spans`` count matches the tree.
+    """
+    if not isinstance(data, dict):
+        return ["job-trace: not a JSON object"]
+    errors = _check_fields(data, _JOB_TRACE_FIELDS, "job-trace")
+    tree = data.get("tree")
+    if not isinstance(tree, list):
+        return errors
+    total = 0
+    for index, node in enumerate(tree):
+        total += _validate_tree_node(
+            node, f"job-trace tree[{index}]", errors
+        )
+    declared = data.get("spans")
+    if isinstance(declared, int) and declared != total:
+        errors.append(
+            f"job-trace: 'spans' is {declared} but the tree holds {total}"
+        )
+    return errors
+
+
+def validate_job_trace_file(path) -> List[str]:
+    """Structural errors in a ``/jobs/<id>/trace`` JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_job_trace(data)
 
 
 def validate_report_file(path) -> List[str]:
@@ -418,14 +532,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--dashboard", default=None,
         help="path to a dashboard-payload JSON (/dashboard.json) to validate",
     )
+    parser.add_argument(
+        "--job-trace", default=None, dest="job_trace",
+        help="path to a flight-record JSON (/jobs/<id>/trace) to validate",
+    )
     args = parser.parse_args(argv)
     inputs = (
-        args.manifest, args.trace, args.history, args.report, args.dashboard
+        args.manifest, args.trace, args.history, args.report,
+        args.dashboard, args.job_trace,
     )
     if all(value is None for value in inputs):
         parser.error(
             "nothing to validate: give a manifest, --trace, --history, "
-            "--report, or --dashboard"
+            "--report, --dashboard, or --job-trace"
         )
     errors = []
     checked = []
@@ -444,6 +563,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.dashboard is not None:
         errors.extend(validate_dashboard_file(args.dashboard))
         checked.append(args.dashboard)
+    if args.job_trace is not None:
+        errors.extend(validate_job_trace_file(args.job_trace))
+        checked.append(args.job_trace)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:

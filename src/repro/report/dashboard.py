@@ -33,8 +33,8 @@ from repro.report.trajectory import TrajectoryReport, html_page
 #: Version of the ``/dashboard.json`` payload layout. Mirrored by
 #: ``repro.obs.validate.SUPPORTED_DASHBOARD_SCHEMA_VERSION`` (the
 #: validator must not import this package); a cross-check test keeps
-#: them in lockstep.
-DASHBOARD_SCHEMA_VERSION = 1
+#: them in lockstep. v2 added the ``status.latency`` quantile block.
+DASHBOARD_SCHEMA_VERSION = 2
 
 #: The job-table layout, shared by the text and HTML renderings.
 _JOB_COLUMNS = [
@@ -53,6 +53,41 @@ _REPLAY_COUNTERS = (
     "miss_stream.artifact_hits",
     "miss_stream.artifact_misses",
 )
+
+#: The latency-quantile table layout (text and HTML renderings).
+_LATENCY_COLUMNS = [
+    {"header": "phase", "key": "phase"},
+    {"header": "count", "key": "count", "align": "right"},
+    {"header": "p50 (s)", "key": "p50", "format": ".4f", "align": "right"},
+    {"header": "p95 (s)", "key": "p95", "format": ".4f", "align": "right"},
+    {"header": "p99 (s)", "key": "p99", "format": ".4f", "align": "right"},
+    {"header": "p999 (s)", "key": "p999", "format": ".4f", "align": "right"},
+]
+
+
+def _latency_rows(status: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The ``status.latency`` block as display rows, phase order kept.
+
+    Metric names shorten to their phase (``latency.job_seconds`` →
+    ``job``). Values come from recorded stamps, never the current
+    clock, so the rows are byte-stable under a fixed service state.
+    """
+    rows = []
+    for name, summary in (status.get("latency") or {}).items():
+        phase = name
+        if phase.startswith("latency."):
+            phase = phase[len("latency."):]
+        if phase.endswith("_seconds"):
+            phase = phase[: -len("_seconds")]
+        rows.append({
+            "phase": phase,
+            "count": summary.get("count", 0),
+            "p50": summary.get("p50", 0.0),
+            "p95": summary.get("p95", 0.0),
+            "p99": summary.get("p99", 0.0),
+            "p999": summary.get("p999", 0.0),
+        })
+    return rows
 
 
 def _job_view(record: Dict[str, Any]) -> Dict[str, Any]:
@@ -143,6 +178,16 @@ def render_dashboard_text(payload: Dict[str, Any]) -> str:
             misses=counters.get("miss_stream.artifact_misses", 0),
         )
     )
+    latency_rows = _latency_rows(status)
+    if latency_rows:
+        lines.append("")
+        lines.append(
+            TableBuilder().render(
+                latency_rows,
+                columns=_LATENCY_COLUMNS,
+                title="latency quantiles",
+            )
+        )
     jobs = payload.get("jobs") or []
     lines.append("")
     if jobs:
@@ -231,6 +276,12 @@ def render_dashboard_html(payload: Dict[str, Any]) -> str:
             headers=["counter", "value"],
         )
     )
+    latency_rows = _latency_rows(status)
+    if latency_rows:
+        body.append("<h2>Latency quantiles</h2>")
+        body.append(
+            builder.render(latency_rows, columns=_LATENCY_COLUMNS)
+        )
     jobs = payload.get("jobs") or []
     body.append(f"<h2>Jobs ({len(jobs)})</h2>")
     if jobs:

@@ -23,7 +23,10 @@ the resilience layer makes about it:
   execution circuit breaker (readiness flips to not-ready) without
   dropping queued work; after the fault clears, a half-open probe
   closes the breaker and a resubmission resumes from the spooled
-  checkpoint bit-identically.
+  checkpoint bit-identically — and its flight record ties the
+  pool-worker spans (including a retried attempt) to the job's
+  ``trace_id`` with a critical path summing to the end-to-end
+  latency.
 
 Exit code 0 means every requested scenario held; 1 names the ones
 that did not. With ``--obs-dir`` the persistent-crash scenario writes
@@ -243,10 +246,24 @@ def scenario_service(harness: ChaosHarness) -> bool:
     the breaker and a resubmission of the same points resumes from
     the spooled checkpoint — with results bit-identical to a
     fault-free sweep.
+
+    The probe job runs under a *transient* raise fault on its one
+    remaining point, so it also proves the flight recorder: its
+    ``/jobs/<id>/trace`` span tree must contain the pool-worker spans
+    shipped back across the process boundary — the failed attempt 1
+    (stamped ``error``) and the successful attempt 2 — all carrying
+    the submitting job's ``trace_id``, with the critical path summing
+    exactly to the recorded end-to-end latency.
     """
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.spans import Tracer
+    from repro.obs.trace_report import build_job_report
     from repro.service import OPEN, SimulationService
+
+    def walk(nodes):
+        for node in nodes:
+            yield node
+            yield from walk(node["children"])
 
     def wait_for(job_id, service, timeout=120.0):
         deadline = time.monotonic() + timeout
@@ -309,11 +326,18 @@ def scenario_service(harness: ChaosHarness) -> bool:
         # points from the shared (config-hash-keyed) checkpoint.
         if second["summary"]["resumed"] != len(POINTS) - 1:
             return False
-        # Fault cleared: after the reset timeout a half-open probe runs
-        # the resubmitted job, which resumes the checkpoint, completes
-        # the one missing point, and closes the breaker.
+        # Fault cleared to *transient*: after the reset timeout a
+        # half-open probe runs the resubmitted job, which resumes the
+        # checkpoint, retries the one missing point past the raise
+        # fault, and closes the breaker.
         time.sleep(1.1)
-        third = wait_for(service.submit(payload)["id"], service)
+        faults.activate(
+            FaultPlan([FaultSpec("raise", at=1, attempts=frozenset({1}))])
+        )
+        try:
+            third = wait_for(service.submit(payload)["id"], service)
+        finally:
+            faults.deactivate()
         if third["status"] != "done":
             return False
         if third["summary"]["resumed"] != len(POINTS) - 1:
@@ -321,6 +345,37 @@ def scenario_service(harness: ChaosHarness) -> bool:
         if service.execute_breaker.state != "closed" or not service.ready()[0]:
             return False
         if not harness.matches_baseline(outcomes[-1]):
+            return False
+        # Flight record: the probe job's trace must tie the worker
+        # spans (shipped back from the pool process) to the job's own
+        # trace_id, across the injected retry — attempt 1 stamped as
+        # the error it was, attempt 2 the recovery.
+        trace = service.job_trace(third["id"])
+        if trace is None or trace["trace_id"] != third["trace_id"]:
+            return False
+        tasks = [n for n in walk(trace["tree"]) if n["name"] == "pool_task"]
+        if any(n["trace_id"] != third["trace_id"] for n in tasks):
+            return False
+        attempts = {n["attrs"].get("attempt") for n in tasks}
+        if not {1, 2} <= attempts:
+            return False
+        if not any(
+            n["attrs"].get("attempt") == 1 and n["attrs"].get("error")
+            for n in tasks
+        ):
+            return False
+        # And the critical path over the same spool must sum exactly
+        # to the recorded end-to-end latency.
+        report = build_job_report(
+            [r.to_dict() for r in service.tracer.snapshot_records()],
+            third["id"],
+        )
+        attributed = sum(
+            row["wall_seconds"] for row in report["critical_path"]
+        )
+        if abs(attributed - report["e2e_seconds"]) > 1e-9:
+            return False
+        if report["worker"]["max_attempt"] < 2 or report["worker"]["errors"] < 1:
             return False
         return service.drain(grace=30.0)
 

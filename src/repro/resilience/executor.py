@@ -36,41 +36,94 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.context import (
+    IdSource,
+    TraceContext,
+    activate,
+    current_context,
+    set_id_source,
+)
 from repro.obs.log import log
 from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.spans import Tracer, get_tracer, set_tracer
 from repro.resilience import faults
 from repro.resilience.policy import FailurePolicy, PointFailure, RetryPolicy
+
+
+def _attr_value(key: Any) -> Any:
+    """A JSON-representable form of a task key for span attributes."""
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    return str(key)
 
 
 def _guarded_call(task: tuple) -> tuple:
     """Worker-side wrapper: structured errors instead of raw raises.
 
     Runs any active fault-injection plan around the real worker
-    function and returns ``("ok", value)`` or ``("err", record)`` —
-    so an ordinary exception costs one task, not the whole pool.
-    Injected ``exit`` faults and real worker deaths bypass this (there
-    is nothing to return from a dead process) and surface to the
-    parent as ``BrokenProcessPool``.
+    function and returns ``("ok", value, spans)`` or
+    ``("err", record, spans)`` — so an ordinary exception costs one
+    task, not the whole pool. Injected ``exit`` faults and real worker
+    deaths bypass this (there is nothing to return from a dead
+    process) and surface to the parent as ``BrokenProcessPool``.
+
+    The envelope's fifth element is the submitting side's
+    :meth:`~repro.obs.context.TraceContext.to_wire` (or ``None``):
+    it is activated as the ambient context around a ``pool_task`` span
+    tagged ``attempt=N``, so every span the worker records re-parents
+    under the *submitting* span — by value in the envelope, which
+    survives fork, spawn, pool re-creation, and retry, where fork-time
+    context inheritance would not (tasks arrive long after the fork).
+    The worker's span ids are drawn from an
+    :class:`~repro.obs.context.IdSource` seeded with
+    ``"<parent span id>:<key>:<attempt>"`` — deterministic under a
+    pinned ``REPRO_TRACE_SEED`` *and* collision-free across tasks,
+    pool workers, and retries. ``spans`` is the task's recorded spans
+    as dicts, shipped back for the parent tracer to adopt.
     """
-    worker, key, payload, attempt = task
-    try:
-        plan = faults.active_plan()
-        if plan is not None:
-            plan.before(key, attempt)
-        value = worker(payload)
-        if plan is not None:
-            value = plan.transform(key, attempt, value)
-        return ("ok", value)
-    except Exception as exc:
-        return (
-            "err",
-            {
-                "error_type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-                "worker_pid": os.getpid(),
-            },
+    worker, key, payload, attempt, wire = task
+    context = TraceContext.from_wire(wire)
+    # A fresh tracer per task: only this task's spans travel back.
+    previous_tracer = set_tracer(Tracer())
+    tracer = get_tracer()
+    previous_source = None
+    if context is not None:
+        previous_source = set_id_source(
+            IdSource(f"{context.span_id}:{_attr_value(key)}:{attempt}")
         )
+    try:
+        with activate(context):
+            try:
+                with tracer.span(
+                    "pool_task",
+                    key=_attr_value(key),
+                    attempt=attempt,
+                    worker_pid=os.getpid(),
+                ):
+                    plan = faults.active_plan()
+                    if plan is not None:
+                        plan.before(key, attempt)
+                    value = worker(payload)
+                    if plan is not None:
+                        value = plan.transform(key, attempt, value)
+                spans = [record.to_dict() for record in tracer.records]
+                return ("ok", value, spans)
+            except Exception as exc:
+                spans = [record.to_dict() for record in tracer.records]
+                return (
+                    "err",
+                    {
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(),
+                        "worker_pid": os.getpid(),
+                    },
+                    spans,
+                )
+    finally:
+        set_tracer(previous_tracer)
+        if previous_source is not None:
+            set_id_source(previous_source)
 
 
 class _Task:
@@ -147,6 +200,12 @@ class ResilientPoolExecutor:
             converts the value into a failed attempt (retryable like
             any other), so a worker returning corrupt or malformed
             data cannot poison the results or crash the parent.
+        tracer: The :class:`~repro.obs.spans.Tracer` that adopts the
+            span records workers ship back; defaults to the
+            process-global tracer. The ambient
+            :class:`~repro.obs.context.TraceContext` at submission
+            time rides in each task envelope, so worker spans
+            re-parent under the submitting span.
     """
 
     def __init__(
@@ -161,12 +220,14 @@ class ResilientPoolExecutor:
         on_result: Optional[Callable[[Any, Any], None]] = None,
         on_failure: Optional[Callable[[PointFailure], None]] = None,
         validator: Optional[Callable[[Any, Any], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.worker = worker
         self.processes = processes
         self.retry = retry if retry is not None else RetryPolicy()
         self.failure_policy = FailurePolicy.coerce(failure_policy)
         self.metrics = metrics if metrics is not None else get_metrics()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.on_submit = on_submit
         self.on_result = on_result
         self.on_failure = on_failure
@@ -276,8 +337,20 @@ class ResilientPoolExecutor:
         return done
 
     def _submit(self, task: _Task):
-        """Submit one task, re-creating the pool if it is broken."""
-        payload = (self.worker, task.key, task.payload, task.attempt)
+        """Submit one task, re-creating the pool if it is broken.
+
+        The ambient trace context (if any) is embedded in the
+        envelope *at submission time*, so a retry submitted later
+        still carries the original request's identity.
+        """
+        context = current_context()
+        payload = (
+            self.worker,
+            task.key,
+            task.payload,
+            task.attempt,
+            context.to_wire() if context is not None else None,
+        )
         for _ in range(2):
             pool = self._ensure_pool()
             try:
@@ -293,7 +366,9 @@ class ResilientPoolExecutor:
         """Fold one finished future into results, retries, or failures."""
         task = in_flight.pop(future)
         try:
-            tag, value = future.result()
+            tag, value, spans = future.result()
+            if spans:
+                self.tracer.adopt(spans)
         except BrokenProcessPool:
             self._pool_incident(task, pending, in_flight, report)
             return

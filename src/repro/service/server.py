@@ -19,8 +19,18 @@ the resilient process-pool path, guarded end to end —
   :class:`~repro.resilience.checkpoint.SweepCheckpoint` in the spool
   directory, so a drain — or a kill — never loses a completed point.
 
+Every job is also a **flight record**: it owns a
+:class:`~repro.obs.context.TraceContext` whose ``trace_id`` rides
+from the submission handler through the worker thread into the pool
+processes (via the resilient executor's task envelope), and the
+service stamps each phase — admission, queue wait, execute, and the
+end-to-end ``job`` root span — into both the tracer and the
+``latency.*`` quantile histograms (p50/p95/p99/p999 in ``/metrics``
+and the dashboards).
+
 :class:`ServiceHTTPServer` exposes it over loopback HTTP: ``POST
 /jobs`` (202/400/429/503), ``GET /jobs`` and ``GET /jobs/<id>``,
+``GET /jobs/<id>/trace`` (the assembled cross-process span tree),
 ``GET /healthz`` (process liveness), ``GET /readyz`` (flips 503
 during drain and while the execute breaker is open), ``GET
 /metrics`` (JSON snapshot of the :mod:`repro.obs.metrics` registry
@@ -53,10 +63,12 @@ from repro.errors import (
 )
 from repro.experiments.configs import default_workload
 from repro.experiments.runner import run_sweep_job
+from repro.obs.context import activate, new_trace
 from repro.obs.log import log
 from repro.obs.manifest import RunManifest, describe_workload
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.spans import Tracer, get_tracer
+from repro.obs.trace_report import build_span_tree
 from repro.report.dashboard import (
     build_dashboard_payload,
     render_dashboard_html,
@@ -76,7 +88,16 @@ JOB_STATES = (
 
 
 class Job:
-    """One submitted sweep job and its lifecycle record."""
+    """One submitted sweep job and its lifecycle record.
+
+    Each job owns a fresh :class:`~repro.obs.context.TraceContext`
+    (its *flight record* identity): every span the service, the sweep
+    runner, and the pool workers record for this job carries
+    ``trace_id``, and the context's root ``span_id`` becomes the
+    end-to-end ``job`` span. The ``*_perf`` stamps are monotonic
+    (``time.perf_counter``) phase boundaries the latency quantiles
+    and synthetic spans are computed from.
+    """
 
     def __init__(
         self, job_id: str, points, config: Dict[str, Any]
@@ -91,6 +112,19 @@ class Job:
         self.error: Optional[str] = None
         self.summary: Dict[str, Any] = {}
         self.checkpoint_path: Optional[str] = None
+        self.context = new_trace()
+        self.submitted_perf: Optional[float] = None
+        self.enqueued_perf: Optional[float] = None
+
+    @property
+    def trace_id(self) -> str:
+        """The trace identity shared by every span of this job."""
+        return self.context.trace_id
+
+    @property
+    def root_span_id(self) -> str:
+        """The span id of the job's end-to-end root span."""
+        return self.context.span_id
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-representable job record for the HTTP API."""
@@ -106,6 +140,7 @@ class Job:
             "error": self.error,
             "summary": self.summary,
             "checkpoint": self.checkpoint_path,
+            "trace_id": self.trace_id,
         }
 
 
@@ -318,14 +353,18 @@ class SimulationService:
                 repeated submission-path crashes.
         """
         self.ingest_breaker.allow()
+        submitted_perf = time.perf_counter()
         try:
             points, config = self.admission.admit(payload)
             job = self._register(points, config)
+            job.submitted_perf = submitted_perf
+            admitted_perf = time.perf_counter()
             try:
                 self.queue.offer(job)
             except QueueFullError:
                 self._unregister(job.id)
                 raise
+            job.enqueued_perf = time.perf_counter()
         except (AdmissionError, QueueFullError):
             # Client-side rejections are not ingest failures: a burst
             # of bad requests must not open the breaker and take the
@@ -336,6 +375,17 @@ class SimulationService:
             self.ingest_breaker.record_failure(exc)
             raise
         self.ingest_breaker.record_success()
+        admission_wall = admitted_perf - submitted_perf
+        self.metrics.quantile_histogram(
+            "latency.admission_seconds"
+        ).observe(admission_wall)
+        self.tracer.record_span(
+            "admission",
+            admission_wall,
+            attrs={"job": job.id},
+            trace_id=job.trace_id,
+            parent_span_id=job.root_span_id,
+        )
         log.info(
             f"job {job.id} queued: {len(points)} point(s), "
             f"~{config['estimated_probes']} probes"
@@ -371,6 +421,7 @@ class SimulationService:
             },
             "jobs": by_status,
             "replay": self._replay_snapshot(),
+            "latency": self._latency_snapshot(),
             "metrics": self.metrics.snapshot(),
         }
 
@@ -392,6 +443,52 @@ class SimulationService:
                 for name in counter_names
             },
             "batch_size": self.metrics.histogram("replay.batch_size").to_dict(),
+        }
+
+    def _latency_snapshot(self) -> Dict[str, Any]:
+        """Per-phase latency quantile summaries (p50/p95/p99/p999).
+
+        Same get-or-create discipline as :meth:`_replay_snapshot`:
+        the ``latency.*`` namespace is visible (zeroed) before the
+        first job, and creating the instruments here also keeps them
+        in the full metric snapshot.
+        """
+        names = (
+            "latency.admission_seconds",
+            "latency.queue_wait_seconds",
+            "latency.execute_seconds",
+            "latency.job_seconds",
+        )
+        return {
+            name: self.metrics.quantile_histogram(name).summary()
+            for name in names
+        }
+
+    def job_trace(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The assembled flight record of ``job_id``, or ``None``.
+
+        Collects every span carrying the job's ``trace_id`` from the
+        service tracer — handler-side admission and queue wait, the
+        executing worker thread's ``service_job``/``sweep`` spans, the
+        ``pool_task`` spans shipped back from the worker *processes*,
+        and (once finished) the end-to-end ``job`` root — and
+        assembles them into a causal tree. Available while the job is
+        still running; the tree simply grows until the root lands.
+        """
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        records = [
+            record.to_dict()
+            for record in self.tracer.records_for_trace(job.trace_id)
+        ]
+        return {
+            "job": job_id,
+            "trace_id": job.trace_id,
+            "status": job.status,
+            "spans": len(records),
+            "tree": build_span_tree(records),
         }
 
     def trajectory(self) -> Optional[TrajectoryReport]:
@@ -441,29 +538,78 @@ class SimulationService:
             self._execute(worker_id, job)
 
     def _execute(self, worker_id: str, job: Job) -> None:
-        """Run one admitted job through the execute breaker."""
+        """Run one admitted job through the execute breaker.
+
+        The job's flight record is completed here: the cross-thread
+        queue-wait interval becomes a synthetic ``queue_wait`` span,
+        the live ``service_job`` span runs under the job's ambient
+        context (so the sweep and its pool-worker spans re-parent
+        under it), and the end-to-end ``job`` root span — whose
+        ``span_id`` *is* the job's root — is recorded from the
+        submit-to-finish monotonic stamps. Each interval also feeds
+        the matching ``latency.*`` quantile histogram.
+        """
         job.status = "running"
         job.started_unix = time.time()
+        taken_perf = time.perf_counter()
+        if job.enqueued_perf is not None:
+            queue_wait = max(0.0, taken_perf - job.enqueued_perf)
+            self.metrics.quantile_histogram(
+                "latency.queue_wait_seconds"
+            ).observe(queue_wait)
+            self.tracer.record_span(
+                "queue_wait",
+                queue_wait,
+                attrs={"job": job.id},
+                trace_id=job.trace_id,
+                parent_span_id=job.root_span_id,
+            )
         if self.watchdog is not None:
             self.watchdog.beat(worker_id, busy=True)
+        final_status = "failed"
         try:
-            with self.tracer.span("service_job", job=job.id):
-                outcome = self.job_runner(job)
+            with activate(job.context):
+                with self.tracer.span("service_job", job=job.id):
+                    outcome = self.job_runner(job)
         except Exception as exc:
-            job.status = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
             self.execute_breaker.record_failure(exc)
             self.metrics.counter("service.jobs.failed").inc()
             log.error(f"job {job.id} failed: {job.error}")
         else:
-            self._finish(job, outcome)
+            final_status = self._finish(job, outcome)
         finally:
             job.finished_unix = time.time()
+            finished_perf = time.perf_counter()
+            self.metrics.quantile_histogram(
+                "latency.execute_seconds"
+            ).observe(finished_perf - taken_perf)
+            if job.submitted_perf is not None:
+                e2e = finished_perf - job.submitted_perf
+                self.metrics.quantile_histogram(
+                    "latency.job_seconds"
+                ).observe(e2e)
+                self.tracer.record_span(
+                    "job",
+                    e2e,
+                    attrs={"job": job.id, "status": final_status},
+                    trace_id=job.trace_id,
+                    span_id=job.root_span_id,
+                    parent_span_id=None,
+                )
+            # The terminal status is published only after the root span
+            # lands: anyone who polls the job to a terminal state must be
+            # able to read a complete flight record.
+            job.status = final_status
             if self.watchdog is not None:
                 self.watchdog.beat(worker_id, busy=False)
 
-    def _finish(self, job: Job, outcome) -> None:
-        """Fold a completed outcome into the job record and breaker."""
+    def _finish(self, job: Job, outcome) -> str:
+        """Fold a completed outcome into the job record and breaker.
+
+        Returns the terminal status; the caller publishes it after the
+        job's root span has been recorded.
+        """
         job.summary = {
             "completed": outcome.completed(),
             "failed": len(outcome.failures),
@@ -473,7 +619,6 @@ class SimulationService:
             "timeouts": outcome.timeouts,
         }
         if outcome.failures:
-            job.status = "partial"
             job.error = outcome.failures[0].to_dict()["error"]
             self.execute_breaker.record_failure(outcome.failures[0])
             self.metrics.counter("service.jobs.partial").inc()
@@ -483,14 +628,14 @@ class SimulationService:
                 completed=outcome.completed(),
                 failed=len(outcome.failures),
             )
-        else:
-            job.status = "done"
-            self.execute_breaker.record_success()
-            self.metrics.counter("service.jobs.done").inc()
-            log.info(
-                f"job {job.id} done: {outcome.completed()} point(s)"
-                + (f", {outcome.resumed} resumed" if outcome.resumed else "")
-            )
+            return "partial"
+        self.execute_breaker.record_success()
+        self.metrics.counter("service.jobs.done").inc()
+        log.info(
+            f"job {job.id} done: {outcome.completed()} point(s)"
+            + (f", {outcome.resumed} resumed" if outcome.resumed else "")
+        )
+        return "done"
 
     def _on_stall(self, worker_id: str, busy_seconds: float) -> None:
         """Watchdog verdict: a hung job counts as an execute failure."""
@@ -615,7 +760,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_body(code, body, "text/html; charset=utf-8")
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Serve /healthz, /readyz, /metrics, /dashboard*, /jobs[/<id>]."""
+        """Serve /healthz /readyz /metrics /dashboard* /jobs[/<id>[/trace]]."""
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, {"ok": True})
@@ -634,6 +779,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_dashboard("json")
         elif path == "/jobs":
             self._send_json(200, {"jobs": self.service.jobs()})
+        elif path.startswith("/jobs/") and path.endswith("/trace"):
+            job_id = path[len("/jobs/"):-len("/trace")]
+            flight = self.service.job_trace(job_id)
+            if flight is None:
+                self._send_json(404, {"error": "no such job"})
+            else:
+                self._send_json(200, flight)
         elif path.startswith("/jobs/"):
             record = self.service.job(path[len("/jobs/"):])
             if record is None:

@@ -1,0 +1,120 @@
+"""Trace context: deterministic ids, wire round-trip, ambient scope."""
+
+import pickle
+
+import pytest
+
+from repro.obs.context import (
+    IdSource,
+    TraceContext,
+    activate,
+    current_context,
+    get_id_source,
+    new_id,
+    new_trace,
+    reset_id_source,
+    set_id_source,
+)
+
+
+class TestTraceContext:
+    def test_immutable(self):
+        context = TraceContext("t" * 16, "s" * 16)
+        with pytest.raises(AttributeError):
+            context.trace_id = "other"
+
+    def test_child_keeps_trace_reparents_span(self):
+        root = TraceContext("t" * 16, "s" * 16)
+        child = root.child("c" * 16)
+        assert child.trace_id == root.trace_id
+        assert child.span_id == "c" * 16
+        assert child.parent_span_id == root.span_id
+
+    def test_wire_round_trip(self):
+        context = TraceContext("t" * 16, "s" * 16, "p" * 16)
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_wire_none_passes_through(self):
+        assert TraceContext.from_wire(None) is None
+
+    def test_wire_form_is_picklable(self):
+        wire = TraceContext("t" * 16, "s" * 16).to_wire()
+        assert pickle.loads(pickle.dumps(wire)) == wire
+
+    def test_to_dict(self):
+        context = TraceContext("t" * 16, "s" * 16)
+        assert context.to_dict() == {
+            "trace_id": "t" * 16,
+            "span_id": "s" * 16,
+            "parent_span_id": None,
+        }
+
+
+class TestIdSource:
+    def test_seeded_sources_emit_identical_sequences(self):
+        a = IdSource("seed-7")
+        b = IdSource("seed-7")
+        assert [a.next_id() for _ in range(5)] == [
+            b.next_id() for _ in range(5)
+        ]
+
+    def test_different_seeds_diverge(self):
+        assert IdSource("a").next_id() != IdSource("b").next_id()
+
+    def test_ids_are_16_hex_chars(self):
+        generated = IdSource("x").next_id()
+        assert len(generated) == 16
+        assert set(generated) <= set("0123456789abcdef")
+
+    def test_unseeded_sources_are_distinct(self):
+        assert IdSource().next_id() != IdSource().next_id()
+
+    def test_env_seed_makes_global_ids_reproducible(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SEED", "golden")
+        previous = reset_id_source()
+        try:
+            first = [new_id() for _ in range(3)]
+            reset_id_source()
+            assert [new_id() for _ in range(3)] == first
+        finally:
+            set_id_source(previous)
+
+    def test_set_id_source_swaps_and_restores(self):
+        isolated = IdSource("isolated")
+        previous = set_id_source(isolated)
+        try:
+            assert get_id_source() is isolated
+        finally:
+            set_id_source(previous)
+        assert get_id_source() is previous
+
+
+class TestAmbientContext:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+
+    def test_activate_scopes_the_context(self):
+        context = new_trace(IdSource("t"))
+        with activate(context):
+            assert current_context() is context
+        assert current_context() is None
+
+    def test_activate_nests_and_restores(self):
+        outer = new_trace(IdSource("outer"))
+        inner = new_trace(IdSource("inner"))
+        with activate(outer):
+            with activate(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_activate_restores_on_exception(self):
+        context = new_trace(IdSource("t"))
+        with pytest.raises(RuntimeError):
+            with activate(context):
+                raise RuntimeError("boom")
+        assert current_context() is None
+
+    def test_new_trace_roots_a_fresh_trace(self):
+        context = new_trace(IdSource("t"))
+        assert context.parent_span_id is None
+        assert context.trace_id != context.span_id

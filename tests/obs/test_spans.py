@@ -1,7 +1,10 @@
 """Tracing spans: nesting, clocks, JSONL round-trip, flame summary."""
 
+import threading
+
+from repro.obs.context import IdSource, activate, new_trace
 from repro.obs.jsonl import read_jsonl
-from repro.obs.spans import Tracer, get_tracer, set_tracer, span
+from repro.obs.spans import SpanRecord, Tracer, get_tracer, set_tracer, span
 from repro.obs.validate import validate_span
 
 
@@ -66,6 +69,24 @@ class TestTiming:
         assert [record.name for record in tracer.records] == ["failing"]
         assert not tracer._stack
 
+    def test_exception_stamps_error_into_attrs(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing", key=3):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        record = tracer.records[0]
+        assert record.attrs["error"] is True
+        assert record.attrs["error_type"] == "ValueError"
+        assert record.attrs["key"] == 3
+
+    def test_clean_exit_has_no_error_attrs(self):
+        tracer = Tracer()
+        with tracer.span("fine"):
+            pass
+        assert "error" not in tracer.records[0].attrs
+
 
 class TestAggregation:
     def test_phase_timings_sums_by_name(self):
@@ -113,6 +134,150 @@ class TestJsonl:
         tracer.write_jsonl(path)
         tracer.write_jsonl(path)
         assert len(list(read_jsonl(path))) == 1
+
+
+class TestCausalIdentity:
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {record.name: record for record in tracer.records}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer.trace_id == inner.trace_id
+        assert inner.parent_span_id == outer.span_id
+        assert outer.span_id != inner.span_id
+
+    def test_top_level_span_self_roots_without_context(self):
+        tracer = Tracer()
+        with tracer.span("alone"):
+            pass
+        record = tracer.records[0]
+        assert record.trace_id is not None
+        assert record.span_id is not None
+        assert record.parent_span_id is None
+
+    def test_top_level_span_adopts_ambient_context(self):
+        tracer = Tracer()
+        context = new_trace(IdSource("request"))
+        with activate(context):
+            with tracer.span("phase"):
+                pass
+        record = tracer.records[0]
+        assert record.trace_id == context.trace_id
+        assert record.parent_span_id == context.span_id
+
+    def test_sibling_spans_under_one_context_share_parent(self):
+        tracer = Tracer()
+        context = new_trace(IdSource("request"))
+        with activate(context):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        parents = {record.parent_span_id for record in tracer.records}
+        assert parents == {context.span_id}
+
+    def test_record_round_trips_through_dict(self):
+        tracer = Tracer()
+        with tracer.span("a", key="v"):
+            pass
+        record = tracer.records[0]
+        rebuilt = SpanRecord.from_dict(record.to_dict())
+        assert rebuilt.to_dict() == record.to_dict()
+
+    def test_from_dict_tolerates_legacy_records(self):
+        legacy = {
+            "name": "a", "path": "a", "depth": 0, "start": 0.0,
+            "wall_seconds": 0.1, "cpu_seconds": 0.1, "attrs": {},
+            "index": 0,
+        }
+        record = SpanRecord.from_dict(legacy)
+        assert record.trace_id is None
+        assert record.span_id is None
+        assert record.parent_span_id is None
+
+
+class TestThreadIsolation:
+    def test_two_threads_interleave_without_cross_parenting(self):
+        """Regression: the active-span stack must be per-thread.
+
+        With a shared bare-list stack, two threads nesting
+        concurrently corrupt each other's paths (thread B's child
+        parents under thread A's open span). The barrier forces both
+        threads to hold their outer span open at the same time.
+        """
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def run(label):
+            with tracer.span(f"outer_{label}"):
+                barrier.wait(timeout=10)
+                with tracer.span(f"inner_{label}"):
+                    pass
+                barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=run, args=(label,)) for label in "ab"
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        by_name = {record.name: record for record in tracer.records}
+        assert len(by_name) == 4
+        for label in "ab":
+            inner, outer = by_name[f"inner_{label}"], by_name[f"outer_{label}"]
+            assert inner.path == f"outer_{label}/inner_{label}"
+            assert inner.depth == 1 and outer.depth == 0
+            assert inner.parent_span_id == outer.span_id
+            assert inner.trace_id == outer.trace_id
+        assert by_name["outer_a"].trace_id != by_name["outer_b"].trace_id
+
+
+class TestSyntheticSpans:
+    def test_record_span_with_explicit_identity(self):
+        tracer = Tracer()
+        record = tracer.record_span(
+            "queue_wait", 0.25, attrs={"job": "j1"},
+            trace_id="t" * 16, parent_span_id="p" * 16,
+        )
+        assert record.wall_seconds == 0.25
+        assert record.trace_id == "t" * 16
+        assert record.parent_span_id == "p" * 16
+        assert record.span_id is not None
+        assert tracer.records == [record]
+
+    def test_record_span_honors_given_span_id(self):
+        tracer = Tracer()
+        record = tracer.record_span("job", 1.0, span_id="s" * 16)
+        assert record.span_id == "s" * 16
+
+    def test_adopt_reindexes_and_preserves_identity(self):
+        worker = Tracer()
+        context = new_trace(IdSource("request"))
+        with activate(context):
+            with worker.span("pool_task", attempt=1):
+                pass
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        adopted = parent.adopt(r.to_dict() for r in worker.records)
+        assert adopted == 1
+        records = parent.snapshot_records()
+        assert [r.index for r in records] == [0, 1]
+        assert records[1].name == "pool_task"
+        assert records[1].trace_id == context.trace_id
+        assert records[1].parent_span_id == context.span_id
+
+    def test_records_for_trace_filters(self):
+        tracer = Tracer()
+        tracer.record_span("a", 0.1, trace_id="t1" + "0" * 14)
+        tracer.record_span("b", 0.1, trace_id="t2" + "0" * 14)
+        names = [
+            r.name for r in tracer.records_for_trace("t1" + "0" * 14)
+        ]
+        assert names == ["a"]
 
 
 class TestGlobalTracer:

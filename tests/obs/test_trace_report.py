@@ -1,5 +1,6 @@
 """Cross-run trace analytics: aggregation, deltas, flame, CLI."""
 
+import json
 import time
 
 import pytest
@@ -7,7 +8,9 @@ import pytest
 from repro.obs.spans import Tracer
 from repro.obs.trace_report import (
     aggregate_trace,
+    build_job_report,
     build_report,
+    build_span_tree,
     flame,
     load_trace,
     main,
@@ -83,7 +86,9 @@ class TestDeltas:
             aggregate_trace(load_trace(second)),
             top=3,
         )
-        assert rows[0]["path"] == "l2_replay"
+        # Parent and child regress by the same amount (the busy-wait
+        # sits inside ``inner``), so either may rank first.
+        assert rows[0]["path"] in ("l2_replay", "l2_replay/inner")
         assert rows[0]["delta_seconds"] > 0
         assert rows[0]["ratio"] > 1.0
 
@@ -120,13 +125,154 @@ class TestBuildReport:
     def test_two_real_traces_attributed(self, trace_pair):
         report = build_report([str(path) for path in trace_pair], top=3)
         assert len(report["runs"]) == 2
-        assert report["regressions"]["top"][0]["path"] == "l2_replay"
+        assert report["regressions"]["top"][0]["path"] in (
+            "l2_replay", "l2_replay/inner"
+        )
         assert report["merged"]["phases"]["l2_replay"]["count"] == 4
 
     def test_single_trace_has_no_regression_block(self, trace_pair):
         report = build_report([str(trace_pair[0])])
         assert "regressions" not in report
         assert report["runs"][0]["totals"]["wall_seconds"] > 0
+
+
+def write_flight_record(path, job_id="job-1"):
+    """Spool a synthetic but causally-complete flight record.
+
+    Mirrors what the service records for one retried job: an
+    end-to-end ``job`` root, handler-side ``admission`` and
+    ``queue_wait``, the executing ``service_job``, and two
+    ``pool_task`` attempts shipped back from the pool — the first
+    stamped as an error. Plus one span from an unrelated trace, which
+    must never leak into the job's report.
+    """
+    tracer = Tracer()
+    trace, other = "a" * 16, "b" * 16
+    root, execute = "c" * 16, "d" * 16
+    tracer.record_span(
+        "admission", 0.1, attrs={"job": job_id},
+        trace_id=trace, parent_span_id=root, start=0.0,
+    )
+    tracer.record_span(
+        "queue_wait", 0.2, attrs={"job": job_id},
+        trace_id=trace, parent_span_id=root, start=0.1,
+    )
+    tracer.record_span(
+        "pool_task", 0.25, cpu_seconds=0.2,
+        attrs={"key": 0, "attempt": 1, "error": True,
+               "error_type": "InjectedFaultError"},
+        trace_id=trace, parent_span_id=execute, start=0.3,
+    )
+    tracer.record_span(
+        "pool_task", 0.3, cpu_seconds=0.28,
+        attrs={"key": 0, "attempt": 2},
+        trace_id=trace, parent_span_id=execute, start=0.55,
+    )
+    tracer.record_span(
+        "service_job", 0.6, attrs={"job": job_id},
+        trace_id=trace, span_id=execute, parent_span_id=root, start=0.3,
+    )
+    tracer.record_span(
+        "job", 1.0, attrs={"job": job_id, "status": "done"},
+        trace_id=trace, span_id=root, start=0.0,
+    )
+    tracer.record_span("other_work", 0.4, trace_id=other, start=0.0)
+    tracer.write_jsonl(path)
+    return path
+
+
+class TestSpanTree:
+    def test_children_nest_under_matching_parent(self, tmp_path):
+        records = load_trace(write_flight_record(tmp_path / "t.jsonl"))
+        roots = build_span_tree(
+            [r for r in records if r["trace_id"] == "a" * 16]
+        )
+        (root,) = roots
+        assert root["name"] == "job"
+        names = [child["name"] for child in root["children"]]
+        assert names == ["admission", "queue_wait", "service_job"]
+        execute = root["children"][2]
+        assert [c["attrs"]["attempt"] for c in execute["children"]] == [1, 2]
+
+    def test_orphan_spans_become_roots(self):
+        roots = build_span_tree([
+            {"name": "stray", "span_id": "s" * 16,
+             "parent_span_id": "missing0missing0", "start": 1.0, "index": 0},
+            {"name": "rootless", "span_id": None,
+             "parent_span_id": None, "start": 0.5, "index": 1},
+        ])
+        assert [r["name"] for r in roots] == ["rootless", "stray"]
+        assert all(r["children"] == [] for r in roots)
+
+    def test_self_parented_span_does_not_recurse(self):
+        (root,) = build_span_tree([
+            {"name": "loop", "span_id": "s" * 16,
+             "parent_span_id": "s" * 16, "start": 0.0, "index": 0},
+        ])
+        assert root["name"] == "loop" and root["children"] == []
+
+
+class TestJobReport:
+    def test_critical_path_sums_exactly_to_e2e(self, tmp_path):
+        records = load_trace(write_flight_record(tmp_path / "t.jsonl"))
+        report = build_job_report(records, "job-1")
+        assert report["trace_id"] == "a" * 16
+        assert report["e2e_seconds"] == 1.0
+        assert report["spans"] == 6  # the other-trace span is excluded
+        by_component = {
+            row["component"]: row for row in report["critical_path"]
+        }
+        assert by_component["queue_wait"]["wall_seconds"] == 0.2
+        assert by_component["admission"]["wall_seconds"] == 0.1
+        assert by_component["execute"]["wall_seconds"] == 0.6
+        attributed = sum(
+            row["wall_seconds"] for row in report["critical_path"]
+        )
+        assert attributed == report["e2e_seconds"]  # exact, not approx
+        assert by_component["execute"]["share"] == pytest.approx(0.6)
+
+    def test_worker_summary_counts_attempts_and_errors(self, tmp_path):
+        records = load_trace(write_flight_record(tmp_path / "t.jsonl"))
+        worker = build_job_report(records, "job-1")["worker"]
+        assert worker["tasks"] == 2
+        assert worker["max_attempt"] == 2
+        assert worker["errors"] == 1
+        assert worker["wall_seconds"] == pytest.approx(0.55)
+        assert worker["cpu_seconds"] == pytest.approx(0.48)
+        assert worker["merge_seconds"] == pytest.approx(0.05)
+
+    def test_unknown_job_raises(self, tmp_path):
+        records = load_trace(write_flight_record(tmp_path / "t.jsonl"))
+        with pytest.raises(ValueError, match="no end-to-end 'job' span"):
+            build_job_report(records, "job-ghost")
+
+
+class TestJobCli:
+    def test_job_flag_renders_critical_path(self, tmp_path, capsys):
+        trace = write_flight_record(tmp_path / "t.jsonl")
+        assert main(["--job", "job-1", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "== job job-1" in out
+        assert "critical path" in out
+        for component in ("queue_wait", "admission", "execute",
+                          "unattributed"):
+            assert component in out
+        assert "max attempt 2" in out
+
+    def test_job_flag_with_json_report(self, tmp_path, capsys):
+        trace = write_flight_record(tmp_path / "t.jsonl")
+        report_path = tmp_path / "flight.json"
+        assert main(
+            ["--job", "job-1", str(trace), "--json", str(report_path)]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        assert report["job"] == "job-1"
+        assert report["tree"][0]["name"] == "job"
+
+    def test_unknown_job_exits_one(self, tmp_path, capsys):
+        trace = write_flight_record(tmp_path / "t.jsonl")
+        assert main(["--job", "nope", str(trace)]) == 1
+        assert "no end-to-end 'job' span" in capsys.readouterr().err
 
 
 class TestCli:

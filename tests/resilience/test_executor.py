@@ -3,7 +3,9 @@
 import pytest
 
 from repro.errors import SweepPointError, SweepTimeoutError
+from repro.obs.context import IdSource, activate, new_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
 from repro.resilience import faults
 from repro.resilience.executor import ResilientPoolExecutor
 from repro.resilience.faults import FaultPlan, FaultSpec
@@ -160,6 +162,104 @@ class TestInjectedFaults:
         (failure,) = report.failures
         assert failure.kind == "timeout"
         assert isinstance(failure.to_exception(), SweepTimeoutError)
+
+
+class TestTracePropagation:
+    """Worker spans cross the pool boundary with the submitter's ids."""
+
+    def run_traced(self, tasks, context=None, **kwargs):
+        tracer = Tracer()
+        kwargs.setdefault("tracer", tracer)
+        executor = make(**kwargs)
+        if context is not None:
+            with activate(context):
+                report = executor.run(tasks)
+        else:
+            report = executor.run(tasks)
+        return report, tracer
+
+    def test_pool_task_spans_adopted_with_submitting_trace(self):
+        context = new_trace(IdSource("request"))
+        report, tracer = self.run_traced(
+            [(i, i) for i in range(3)], context=context
+        )
+        assert report.results == {i: i * 2 for i in range(3)}
+        tasks = [r for r in tracer.records if r.name == "pool_task"]
+        assert len(tasks) == 3
+        for record in tasks:
+            assert record.trace_id == context.trace_id
+            assert record.parent_span_id == context.span_id
+            assert record.attrs["attempt"] == 1
+            assert record.attrs["worker_pid"] != 0
+        assert sorted(r.attrs["key"] for r in tasks) == [0, 1, 2]
+
+    def test_span_ids_unique_across_tasks(self):
+        context = new_trace(IdSource("request"))
+        _, tracer = self.run_traced(
+            [(i, i) for i in range(4)], context=context
+        )
+        span_ids = [
+            r.span_id for r in tracer.records if r.name == "pool_task"
+        ]
+        assert len(span_ids) == len(set(span_ids)) == 4
+
+    def test_worker_ids_deterministic_for_fixed_context(self):
+        def ids_for_run():
+            context = new_trace(IdSource("request"))
+            _, tracer = self.run_traced([(0, 1), (1, 2)], context=context)
+            return sorted(
+                r.span_id for r in tracer.records if r.name == "pool_task"
+            )
+
+        assert ids_for_run() == ids_for_run()
+
+    def test_retry_produces_attempt_tagged_child_spans(self):
+        faults.activate(
+            FaultPlan([FaultSpec("raise", at=0, attempts=frozenset({1}))])
+        )
+        context = new_trace(IdSource("request"))
+        report, tracer = self.run_traced(
+            [(0, 5)], context=context, failure_policy="retry_then_collect"
+        )
+        assert report.results == {0: 10}
+        tasks = sorted(
+            (r for r in tracer.records if r.name == "pool_task"),
+            key=lambda r: r.attrs["attempt"],
+        )
+        assert [r.attrs["attempt"] for r in tasks] == [1, 2]
+        assert tasks[0].attrs["error"] is True
+        assert tasks[0].attrs["error_type"] == "InjectedFaultError"
+        assert "error" not in tasks[1].attrs
+        assert {r.trace_id for r in tasks} == {context.trace_id}
+        assert tasks[0].span_id != tasks[1].span_id
+
+    def test_no_ambient_context_ships_no_wire(self):
+        report, tracer = self.run_traced([(0, 1)])
+        assert report.results == {0: 2}
+        (record,) = [r for r in tracer.records if r.name == "pool_task"]
+        # The worker self-roots a fresh trace rather than inheriting
+        # a stale one.
+        assert record.trace_id is not None
+        assert record.parent_span_id is None
+
+    def test_worker_inner_spans_nest_under_pool_task(self):
+        context = new_trace(IdSource("request"))
+        report, tracer = self.run_traced(
+            [(0, 2)], context=context, worker=traced_worker
+        )
+        assert report.results == {0: 4}
+        by_name = {r.name: r for r in tracer.records}
+        inner, task = by_name["compute"], by_name["pool_task"]
+        assert inner.trace_id == context.trace_id
+        assert inner.parent_span_id == task.span_id
+
+
+def traced_worker(payload):
+    """Worker that opens its own span inside the guard's pool_task."""
+    from repro.obs.spans import span
+
+    with span("compute"):
+        return payload * 2
 
 
 class TestValidator:

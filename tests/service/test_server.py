@@ -342,6 +342,105 @@ class TestHttpApi:
         assert counters["service.admission.accepted"] == 1
 
 
+class TestFlightRecorder:
+    def test_job_record_carries_trace_id(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        record = service.submit(payload())
+        assert isinstance(record["trace_id"], str)
+        assert len(record["trace_id"]) == 16
+        wait_for_job(service, record["id"])
+        assert service.job(record["id"])["trace_id"] == record["trace_id"]
+        assert service.drain(grace=5.0)
+
+    def test_job_trace_assembles_span_tree(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        record = service.submit(payload())
+        wait_for_job(service, record["id"])
+        trace = service.job_trace(record["id"])
+        assert trace["job"] == record["id"]
+        assert trace["trace_id"] == record["trace_id"]
+        (root,) = trace["tree"]
+        assert root["name"] == "job"
+        assert root["parent_span_id"] is None
+        child_names = {child["name"] for child in root["children"]}
+        assert {"admission", "queue_wait", "service_job"} <= child_names
+        for child in root["children"]:
+            assert child["trace_id"] == record["trace_id"]
+            assert child["parent_span_id"] == root["span_id"]
+        assert trace["spans"] >= 4
+        assert service.drain(grace=5.0)
+
+    def test_job_trace_unknown_job_is_none(self, tmp_path):
+        assert make_service(tmp_path).job_trace("ghost") is None
+
+    def test_status_latency_block_populates(self, tmp_path):
+        service = make_service(tmp_path)
+        service.start()
+        record = service.submit(payload())
+        wait_for_job(service, record["id"])
+        assert service.drain(grace=5.0)
+        latency = service.status()["latency"]
+        for name in (
+            "latency.admission_seconds",
+            "latency.queue_wait_seconds",
+            "latency.execute_seconds",
+            "latency.job_seconds",
+        ):
+            summary = latency[name]
+            assert summary["count"] == 1
+            for quantile in ("p50", "p95", "p99", "p999"):
+                assert summary[quantile] >= 0.0
+        # e2e covers execute: its quantile cannot be below execute's.
+        assert (
+            latency["latency.job_seconds"]["p50"]
+            >= latency["latency.execute_seconds"]["p50"] * 0.5
+        )
+
+    def test_latency_block_visible_before_first_job(self, tmp_path):
+        latency = make_service(tmp_path).status()["latency"]
+        assert latency["latency.job_seconds"]["count"] == 0
+
+    def test_http_trace_endpoint(self, http_service):
+        service, client = http_service
+        record = client.post("/jobs", payload())[1]
+        wait_for_job(service, record["id"])
+        status, trace, _ = client.get(f"/jobs/{record['id']}/trace")
+        assert status == 200
+        assert trace["trace_id"] == record["trace_id"]
+        assert trace["tree"][0]["name"] == "job"
+        from repro.obs.validate import validate_job_trace
+
+        assert validate_job_trace(trace) == []
+
+    def test_http_trace_unknown_job_is_404(self, http_service):
+        _, client = http_service
+        assert client.get("/jobs/ghost/trace")[0] == 404
+
+    def test_failed_job_still_records_latency_and_trace(self, tmp_path):
+        def boom(job):
+            raise RuntimeError("runner died")
+
+        service = make_service(tmp_path, job_runner=boom)
+        service.start()
+        record = service.submit(payload())
+        final = wait_for_job(service, record["id"])
+        assert final["status"] == "failed"
+        trace = service.job_trace(record["id"])
+        (root,) = trace["tree"]
+        assert root["attrs"]["status"] == "failed"
+        names = {child["name"] for child in root["children"]}
+        assert "service_job" in names
+        (execute,) = [
+            c for c in root["children"] if c["name"] == "service_job"
+        ]
+        assert execute["attrs"]["error"] is True
+        latency = service.status()["latency"]
+        assert latency["latency.job_seconds"]["count"] == 1
+        service.drain(grace=5.0)
+
+
 class TestCircuitOpenErrorShape:
     def test_submit_surfaces_circuit_open(self, tmp_path):
         service = make_service(tmp_path)
