@@ -20,8 +20,14 @@ Durability discipline:
 - an **advisory lock** (an ``O_CREAT | O_EXCL`` sidecar lockfile next
   to the checkpoint) makes two concurrent writers fail fast with
   :class:`~repro.errors.CheckpointError` instead of interleaving
-  appends; a lock left behind by a dead process (its recorded PID no
-  longer exists) is stolen automatically.
+  appends; a lock left behind by a dead process is stolen
+  automatically. Staleness is decided by *process identity*, not PID
+  liveness alone: the lockfile records the holder's PID **and** its
+  kernel start time (``/proc/<pid>/stat`` field 22), so a recycled
+  PID — common on the failover path, where a cluster shard dies under
+  load and the ring successor re-admits its job while the OS reuses
+  PIDs — is recognized as a different process and the lock is stolen
+  instead of wedging the takeover forever.
 
 Records are keyed by :func:`point_signature` — a content address of
 the point's full configuration — so reordering or extending the point
@@ -41,6 +47,48 @@ from repro.obs.manifest import config_hash
 
 #: Version of the checkpoint JSONL layout (bump on breaking changes).
 CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def process_start_ticks(pid: int) -> Optional[int]:
+    """The kernel start time of ``pid`` in clock ticks, or ``None``.
+
+    Field 22 of ``/proc/<pid>/stat`` — the one PID attribute the
+    kernel guarantees differs between a process and a later process
+    that recycled its PID. ``None`` means the process does not exist
+    *or* the platform has no ``/proc`` (macOS, Windows); callers must
+    treat those cases differently, so the existence check is separate
+    (:func:`process_exists`).
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_bytes()
+    except OSError:
+        return None
+    try:
+        # The comm field (2) is parenthesized and may itself contain
+        # spaces or parens, so split on the *last* ')': what follows
+        # is field 3 onward, making starttime (field 22) index 19.
+        fields = stat.rsplit(b")", 1)[1].split()
+        return int(fields[19])
+    except (IndexError, ValueError):
+        return None
+
+
+def process_exists(pid: int) -> Optional[bool]:
+    """Whether ``pid`` is a live process; ``None`` when unknowable.
+
+    ``True`` covers processes owned by other users (``EPERM`` still
+    proves existence). ``None`` only on platforms where signal 0 is
+    unsupported.
+    """
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return None
 
 
 def point_signature(point: Any) -> str:
@@ -234,10 +282,12 @@ class SweepCheckpoint:
     def _acquire_lock(self) -> None:
         """Take the ``O_CREAT | O_EXCL`` advisory lock, stealing stale ones.
 
-        The lockfile records the holder's PID. If creation fails but
-        the recorded PID no longer exists (the holder died without
-        :meth:`close`), the stale lock is removed and acquisition is
-        retried once; a *live* holder raises
+        The lockfile records the holder's PID and (where ``/proc``
+        exists) its kernel start time. If creation fails but the
+        recorded holder is verifiably gone — dead PID, *or* a live PID
+        whose start time differs from the recorded one (the PID was
+        recycled by an unrelated process) — the stale lock is removed
+        and acquisition is retried once; a *live* holder raises
         :class:`~repro.errors.CheckpointError` immediately.
         """
         if self._lock_held:
@@ -255,26 +305,48 @@ class SweepCheckpoint:
                         "already recording to it"
                     ) from None
                 continue
+            pid = os.getpid()
+            ticks = process_start_ticks(pid)
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(f"{os.getpid()}\n")
+                handle.write(
+                    f"{pid}\n" if ticks is None else f"{pid} {ticks}\n"
+                )
             self._lock_held = True
             return
 
     def _steal_stale_lock(self) -> bool:
-        """Remove the lockfile iff its recorded holder is dead."""
+        """Remove the lockfile iff its recorded holder is verifiably gone.
+
+        The takeover check the failover path depends on: when a ring
+        successor re-admits a dead shard's job, the shard's PID may
+        already belong to a *different* process. Liveness of the PID
+        alone would wedge the takeover, so the holder counts as alive
+        only when the PID exists **and** its recorded start time (when
+        the lock carries one and the platform can read one) matches
+        the current process's — anything else is a stale lock.
+        """
+        pid = ticks = None
         try:
-            pid = int(self.lock_path.read_text(encoding="utf-8").strip())
-        except (OSError, ValueError):
+            fields = (
+                self.lock_path.read_text(encoding="utf-8").strip().split()
+            )
+            pid = int(fields[0])
+            if len(fields) > 1:
+                ticks = int(fields[1])
+        except (OSError, ValueError, IndexError):
             # Unreadable or torn lockfile: treat as stale.
             pid = None
         if pid is not None:
-            try:
-                os.kill(pid, 0)
-                return False  # holder is alive
-            except ProcessLookupError:
-                pass  # holder is gone
-            except PermissionError:
-                return False  # alive, owned by someone else
+            alive = process_exists(pid)
+            if alive is None:
+                return False  # cannot verify: never steal blind
+            if alive:
+                current = process_start_ticks(pid)
+                if ticks is None or current is None or current == ticks:
+                    # A live PID with no identity to refute it (legacy
+                    # lock, no /proc) — or the very same process.
+                    return False
+                # The PID was recycled: the recorded holder is gone.
         try:
             os.unlink(self.lock_path)
         except FileNotFoundError:

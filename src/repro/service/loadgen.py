@@ -1,0 +1,492 @@
+"""``repro-loadgen``: deterministic load generation for the service tier.
+
+Drives a ``repro-serve`` shard or a ``repro-cluster`` front door (the
+HTTP surface is the same) with a seeded workload mix and records what
+the paper's robustness story actually needs measured: end-to-end
+latency quantiles, shed rate under backpressure, and how long the
+cluster takes to accept work again after a failure::
+
+    repro-loadgen --target http://127.0.0.1:8320 --mode closed \\
+        --concurrency 4 --requests 40
+    repro-loadgen --mode open --rate 10 --ramp 2 --duration 15
+
+Two arrival disciplines:
+
+- **closed loop** (``--mode closed``): ``--concurrency`` workers each
+  submit a job, poll it to a terminal state, then submit the next —
+  the classic think-time-zero closed system, load tracks capacity;
+- **open loop** (``--mode open``): submissions arrive on a fixed
+  schedule at ``--rate`` per second regardless of completions — the
+  discipline that actually exposes shedding, because arrivals do not
+  slow down when the service does. ``--ramp`` grows the rate linearly
+  from ``--ramp-start`` over the first N seconds (a ramp profile).
+
+The workload mix is drawn from a deterministic seeded PRNG
+(``--seed``), so two runs against equal builds submit byte-identical
+job sequences. Results land in a :class:`~repro.obs.bench.BenchHistory`
+file (``--history``) as a normal trajectory entry — submit-latency
+samples under a ``"timing"`` block — so ``repro-bench-compare`` can
+gate a change on loadgen numbers exactly like it gates the simulator
+benchmarks, and ``repro-report``/the dashboards chart them.
+
+Exit codes: 0 — run completed; 2 — bad usage or no request succeeded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError, ShardUnavailableError
+from repro.obs.bench import BenchHistory, TimingResult, build_entry
+from repro.obs.log import log
+from repro.obs.manifest import config_hash
+from repro.obs.metrics import MetricsRegistry
+from repro.service.shard import shard_request
+
+#: Shard-job states that end a closed-loop poll.
+TERMINAL = frozenset({"done", "partial", "failed", "checkpointed"})
+
+#: The seeded workload mix: small, cheap, and *distinct* — different
+#: points hash to different ring positions, so a cluster run spreads
+#: over every shard deterministically.
+MIX_L1 = ("1K-16", "2K-16", "4K-16", "4K-32")
+MIX_ASSOC = (1, 2, 4)
+
+
+def workload_mix(seed: int, count: int) -> List[Dict[str, Any]]:
+    """The first ``count`` payloads of the seeded submission sequence.
+
+    A pure function of ``seed`` — the whole point: rerunning the
+    generator against a changed build replays the identical workload,
+    so latency deltas measure the build, not the dice.
+    """
+    rng = random.Random(seed)
+    payloads = []
+    for _ in range(count):
+        payloads.append(
+            {
+                "points": [
+                    {
+                        "l1": rng.choice(MIX_L1),
+                        "l2": "64K-32",
+                        "associativity": rng.choice(MIX_ASSOC),
+                    }
+                ]
+            }
+        )
+    return payloads
+
+
+def parse_target(url: str) -> "Tuple[str, int]":
+    """``(host, port)`` of an ``http://host:port`` target URL."""
+    parts = urlsplit(url if "//" in url else f"//{url}")
+    if parts.hostname is None or parts.port is None:
+        raise ReproError(
+            f"target {url!r} must look like http://host:port"
+        )
+    return parts.hostname, parts.port
+
+
+class LoadStats:
+    """Thread-safe accumulator for one loadgen run."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.submit_seconds: List[float] = []
+        self.job_seconds: List[float] = []
+        self.accepted = 0
+        self.shed = 0
+        self.rejected = 0
+        self.unavailable = 0
+        self.completed = 0
+        self.failed_jobs = 0
+        #: (relative_time, ok) per submission attempt, arrival order —
+        #: the series recovery time is computed from.
+        self.outcomes: List[Tuple[float, bool]] = []
+
+    def record_submit(
+        self, at: float, status: Optional[int], elapsed: float
+    ) -> None:
+        """Classify one submission attempt by its HTTP status.
+
+        202 counts as accepted (and samples its latency); 429 as shed;
+        ``None`` (transport failure) as unavailable; anything else as
+        rejected.
+        """
+        with self.lock:
+            ok = status == 202
+            self.outcomes.append((at, ok))
+            if ok:
+                self.accepted += 1
+                self.submit_seconds.append(elapsed)
+            elif status == 429:
+                self.shed += 1
+            elif status is None:
+                self.unavailable += 1
+            else:
+                self.rejected += 1
+
+    def record_completion(self, elapsed: float, status: str) -> None:
+        """Record a polled job reaching ``status`` after ``elapsed`` s."""
+        with self.lock:
+            self.completed += 1
+            self.job_seconds.append(elapsed)
+            if status != "done":
+                self.failed_jobs += 1
+
+    def recovery_seconds(self) -> float:
+        """The longest acceptance outage the run observed.
+
+        The maximum gap between consecutive *accepted* submissions
+        (ignoring the ramp-in before the first). Under a shard-kill
+        chaos run this is the failover recovery time: how long the
+        front door made no forward progress.
+        """
+        with self.lock:
+            accepted_at = [at for at, ok in self.outcomes if ok]
+        if len(accepted_at) < 2:
+            return 0.0
+        return round(
+            max(b - a for a, b in zip(accepted_at, accepted_at[1:])), 6
+        )
+
+    def summary(self, wall_seconds: float) -> Dict[str, Any]:
+        """The run's headline numbers (the BenchHistory summary block)."""
+        recovery = self.recovery_seconds()  # takes the lock itself
+        with self.lock:
+            submitted = len(self.outcomes)
+            histogram = MetricsRegistry().quantile_histogram(
+                "latency.submit_seconds"
+            )
+            for sample in self.submit_seconds:
+                histogram.observe(sample)
+            quantiles = histogram.summary()
+            return {
+                "submitted": submitted,
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "unavailable": self.unavailable,
+                "completed": self.completed,
+                "failed_jobs": self.failed_jobs,
+                "shed_rate": (
+                    round(self.shed / submitted, 6) if submitted else 0.0
+                ),
+                "latency_p50_s": quantiles["p50"],
+                "latency_p99_s": quantiles["p99"],
+                "latency_p999_s": quantiles["p999"],
+                "recovery_seconds": recovery,
+                "wall_seconds": round(wall_seconds, 3),
+                "throughput_rps": (
+                    round(self.accepted / wall_seconds, 3)
+                    if wall_seconds > 0
+                    else 0.0
+                ),
+            }
+
+
+def submit_once(
+    address: "Tuple[str, int]",
+    payload: Dict[str, Any],
+    stats: LoadStats,
+    clock_zero: float,
+    timeout: float,
+) -> Optional[str]:
+    """POST one job; record the outcome; return the job id if accepted."""
+    started = time.perf_counter()
+    try:
+        status, body, _ = shard_request(
+            address, "POST", "/jobs", payload=payload, timeout=timeout
+        )
+    except ShardUnavailableError:
+        stats.record_submit(time.perf_counter() - clock_zero, None, 0.0)
+        return None
+    elapsed = time.perf_counter() - started
+    stats.record_submit(time.perf_counter() - clock_zero, status, elapsed)
+    if status == 202 and isinstance(body, dict):
+        return body.get("id")
+    return None
+
+
+def poll_to_terminal(
+    address: "Tuple[str, int]",
+    job_id: str,
+    stats: LoadStats,
+    timeout: float,
+    poll_interval: float,
+) -> None:
+    """Poll one job until a terminal state (or the deadline)."""
+    started = time.perf_counter()
+    deadline = started + timeout
+    while time.perf_counter() < deadline:
+        try:
+            status, body, _ = shard_request(
+                address, "GET", f"/jobs/{job_id}", timeout=5.0
+            )
+        except ShardUnavailableError:
+            time.sleep(poll_interval)
+            continue
+        record = body if isinstance(body, dict) else {}
+        # A cluster answer nests the shard's record; a shard answers flat.
+        state = (record.get("shard_record") or record).get("status")
+        if status == 200 and state in TERMINAL:
+            stats.record_completion(time.perf_counter() - started, state)
+            return
+        if status == 404:
+            break
+        time.sleep(poll_interval)
+    stats.record_completion(time.perf_counter() - started, "lost")
+
+
+def run_closed_loop(address, payloads, stats, args) -> None:
+    """N workers, think time zero: submit, poll to terminal, repeat."""
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+
+    def worker() -> None:
+        clock_zero = time.perf_counter()
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(payloads):
+                    return
+                cursor["next"] = index + 1
+            job_id = submit_once(
+                address, payloads[index], stats, clock_zero,
+                args.submit_timeout,
+            )
+            if job_id is not None:
+                poll_to_terminal(
+                    address, job_id, stats, args.job_timeout,
+                    args.poll_interval,
+                )
+            elif args.resubmit_delay > 0:
+                time.sleep(args.resubmit_delay)
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(args.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def run_open_loop(address, payloads, stats, args) -> None:
+    """Scheduled arrivals at ``--rate``/s (linearly ramped), fire and poll.
+
+    Arrivals never wait for completions — each submission's poll runs
+    on its own thread — so a slow or failing service shows up as shed
+    and latency, not as a quietly reduced offered load.
+    """
+    pollers: List[threading.Thread] = []
+    clock_zero = time.perf_counter()
+    at = 0.0
+    for index, payload in enumerate(payloads):
+        if args.ramp > 0 and at < args.ramp:
+            rate = args.ramp_start + (args.rate - args.ramp_start) * (
+                at / args.ramp
+            )
+        else:
+            rate = args.rate
+        sleep_until = clock_zero + at
+        delay = sleep_until - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        job_id = submit_once(
+            address, payload, stats, clock_zero, args.submit_timeout
+        )
+        if job_id is not None:
+            poller = threading.Thread(
+                target=poll_to_terminal,
+                args=(
+                    address, job_id, stats, args.job_timeout,
+                    args.poll_interval,
+                ),
+                name=f"loadgen-poll-{index}",
+                daemon=True,
+            )
+            poller.start()
+            pollers.append(poller)
+        at += 1.0 / max(rate, 0.001)
+        if args.duration is not None and at > args.duration:
+            break
+    deadline = time.monotonic() + args.job_timeout
+    for poller in pollers:
+        poller.join(timeout=max(0.0, deadline - time.monotonic()))
+
+
+def build_history_entry(args, stats, wall_seconds: float) -> Dict[str, Any]:
+    """One gateable BenchHistory entry for this run.
+
+    The submit-latency samples become the ``"timing"`` block, so
+    ``repro-bench-compare`` applies its usual disjoint-CI test to the
+    median submit latency across history entries.
+    """
+    config = {
+        "tool": "repro-loadgen",
+        "mode": args.mode,
+        "seed": args.seed,
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "rate": args.rate,
+        "ramp": args.ramp,
+        "ramp_start": args.ramp_start,
+        "mix": {"l1": list(MIX_L1), "l2": "64K-32", "assoc": list(MIX_ASSOC)},
+    }
+    timing = TimingResult(
+        samples=stats.submit_seconds or [0.0], warmup=0
+    )
+    return build_entry(
+        config=config,
+        config_hash=config_hash(config),
+        results={"loadgen_submit": {"timing": timing.to_dict()}},
+        summary=stats.summary(wall_seconds),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: generate load, report, append the history entry."""
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Deterministic open/closed-loop load generator for "
+        "repro-serve and repro-cluster, recording latency quantiles, "
+        "shed rate, and failover recovery time into a BenchHistory.",
+    )
+    parser.add_argument(
+        "--target",
+        default="http://127.0.0.1:8320",
+        help="service or cluster base URL",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: N workers with think time zero; open: scheduled "
+        "arrivals at --rate regardless of completions",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=20,
+        help="total submissions to generate",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="closed-loop worker count",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=5.0,
+        help="open-loop steady arrival rate (per second)",
+    )
+    parser.add_argument(
+        "--ramp",
+        type=float,
+        default=0.0,
+        help="open-loop: seconds of linear ramp from --ramp-start to "
+        "--rate (0 disables)",
+    )
+    parser.add_argument(
+        "--ramp-start",
+        type=float,
+        default=1.0,
+        help="open-loop ramp's starting rate (per second)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="open-loop: stop scheduling arrivals after this many seconds",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1989,
+        help="workload-mix PRNG seed (identical seed, identical jobs)",
+    )
+    parser.add_argument("--submit-timeout", type=float, default=10.0)
+    parser.add_argument("--job-timeout", type=float, default=120.0)
+    parser.add_argument("--poll-interval", type=float, default=0.1)
+    parser.add_argument(
+        "--resubmit-delay",
+        type=float,
+        default=0.2,
+        help="closed-loop pause after a shed/failed submission",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        default="BENCH_loadgen.json",
+        help="BenchHistory file the run's entry is appended to "
+        "(gate with repro-bench-compare)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the summary as JSON instead of prose",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error("--requests must be >= 1")
+    if args.concurrency < 1:
+        parser.error("--concurrency must be >= 1")
+    if args.rate <= 0:
+        parser.error("--rate must be > 0")
+
+    address = parse_target(args.target)
+    payloads = workload_mix(args.seed, args.requests)
+    stats = LoadStats()
+    started = time.perf_counter()
+    if args.mode == "closed":
+        run_closed_loop(address, payloads, stats, args)
+    else:
+        run_open_loop(address, payloads, stats, args)
+    wall_seconds = time.perf_counter() - started
+
+    summary = stats.summary(wall_seconds)
+    if stats.accepted == 0:
+        log.error("loadgen: no submission was accepted; not recording")
+        print(json.dumps(summary, sort_keys=True))
+        return 2
+    entry = build_history_entry(args, stats, wall_seconds)
+    history = BenchHistory.load_or_create(args.history)
+    history.append(entry)
+    history.save(args.history)
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(
+            f"loadgen {args.mode}: {summary['accepted']}/"
+            f"{summary['submitted']} accepted, shed rate "
+            f"{summary['shed_rate']:.3f}, p50 {summary['latency_p50_s']}s, "
+            f"p99 {summary['latency_p99_s']}s, p999 "
+            f"{summary['latency_p999_s']}s, recovery "
+            f"{summary['recovery_seconds']}s, {summary['throughput_rps']} "
+            f"jobs/s -> {args.history}"
+        )
+    return 0
+
+
+def run() -> None:
+    """Console-script shim mapping :class:`ReproError` to exit code 2."""
+    try:
+        sys.exit(main())
+    except ReproError as exc:
+        log.error(str(exc))
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    run()

@@ -1,0 +1,359 @@
+"""Shard handles: the cluster's view of one ``repro-serve`` worker.
+
+The front door (:mod:`repro.service.cluster`) supervises N shards and
+talks to each over its loopback HTTP API. Everything it needs from a
+shard is behind the small :class:`ShardHandle` contract — spawn, find
+the address, probe liveness, signal, wait — with two implementations:
+
+- :class:`ShardProcess` — the real thing: a ``repro-serve`` child
+  process started with ``--port 0`` (the OS picks a free port) and
+  ``--port-file`` (how the supervisor learns which one), sharing the
+  cluster's spool directory so checkpoints and stream artifacts
+  survive the process. ``terminate()`` sends SIGTERM (the shard's own
+  two-phase drain flushes its checkpoints), ``kill()`` sends SIGKILL
+  (the chaos path — no flush, no goodbye);
+- :class:`InProcessShard` — a :class:`~repro.service.server.
+  SimulationService` served on a thread inside the current process.
+  Same HTTP surface, no fork/exec, so cluster control-plane tests run
+  in milliseconds; ``kill()`` closes the listening socket abruptly,
+  which is exactly what a crashed shard looks like from the router's
+  side of the connection.
+
+:func:`shard_request` is the one HTTP client in the cluster: stdlib
+``http.client`` with a hard timeout, raising
+:class:`~repro.errors.ShardUnavailableError` for every transport-level
+failure so callers handle "shard gone" as one condition.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError, ShardUnavailableError
+from repro.obs.log import log
+
+
+def shard_request(
+    address: "Tuple[str, int]",
+    method: str,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    timeout: float = 10.0,
+) -> "Tuple[int, Any, Dict[str, str]]":
+    """One HTTP round-trip to a shard: ``(status, body, headers)``.
+
+    ``payload`` is sent as JSON; the response body is parsed as JSON
+    when non-empty (``None`` otherwise). Every transport failure —
+    refused connection, reset, timeout, torn response — raises
+    :class:`~repro.errors.ShardUnavailableError`; HTTP error *statuses*
+    are returned, not raised (a 429 from a shedding shard is an
+    answer, not an outage).
+    """
+    host, port = address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw else None
+        return response.status, parsed, dict(response.getheaders())
+    except (OSError, http.client.HTTPException, json.JSONDecodeError) as exc:
+        raise ShardUnavailableError(
+            f"shard at {host}:{port} unreachable: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    finally:
+        connection.close()
+
+
+class ShardHandle:
+    """The supervisor-facing contract of one shard (see subclasses)."""
+
+    name: str
+
+    def start(self) -> None:
+        """Launch (or relaunch) the shard."""
+        raise NotImplementedError
+
+    @property
+    def address(self) -> Optional["Tuple[str, int]"]:
+        """The shard's bound ``(host, port)``, or ``None`` before bind."""
+        raise NotImplementedError
+
+    def is_alive(self) -> bool:
+        """Whether the shard process/server still exists."""
+        raise NotImplementedError
+
+    def terminate(self) -> None:
+        """Ask the shard to drain gracefully (SIGTERM semantics)."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Destroy the shard without warning (SIGKILL semantics)."""
+        raise NotImplementedError
+
+    def join(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` seconds for exit; ``True`` if exited."""
+        raise NotImplementedError
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: float = 10.0,
+    ) -> "Tuple[int, Any, Dict[str, str]]":
+        """:func:`shard_request` against this shard's address."""
+        address = self.address
+        if address is None:
+            raise ShardUnavailableError(
+                f"shard {self.name!r} has no address (not started?)"
+            )
+        return shard_request(
+            address, method, path, payload=payload, timeout=timeout
+        )
+
+
+class ShardProcess(ShardHandle):
+    """A ``repro-serve`` child process under cluster supervision.
+
+    Args:
+        name: Shard identity (``shard-0``, ...) used for the port
+            file, the log file, and every metric/log line about it.
+        cluster_dir: Directory for the shard's port and log files.
+        spool_dir: The *shared* checkpoint spool. Sharing one spool
+            across shards is what makes failover resume work: routing
+            affinity (consistent hashing) keeps writers disjoint in
+            steady state, and the checkpoint's advisory lock — with
+            its PID+start-time staleness check — arbitrates the
+            takeover when a ring successor re-admits a dead shard's
+            job.
+        args: Extra ``repro-serve`` CLI arguments (workload scale,
+            queue sizing, jitter, ...).
+        env: Environment overrides for the child (inherits the rest).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cluster_dir,
+        spool_dir,
+        args: Optional[List[str]] = None,
+        env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.name = name
+        # Resolved eagerly: the child runs with cwd=cluster_dir, so a
+        # relative --port-file/--spool-dir would resolve differently
+        # in the child than in this supervisor.
+        self.cluster_dir = Path(cluster_dir).resolve()
+        self.spool_dir = Path(spool_dir).resolve()
+        self.args = list(args or [])
+        self.env = dict(env or {})
+        self.restarts = 0
+        self._process: Optional[subprocess.Popen] = None
+        self._address: Optional[Tuple[str, int]] = None
+
+    @property
+    def port_file(self) -> Path:
+        """Where the shard publishes its bound ``host:port``."""
+        return self.cluster_dir / f"{self.name}.port"
+
+    @property
+    def log_file(self) -> Path:
+        """The shard's combined stdout+stderr log (append-only)."""
+        return self.cluster_dir / f"{self.name}.log"
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The child PID, or ``None`` before the first start."""
+        return self._process.pid if self._process is not None else None
+
+    def start(self) -> None:
+        """Spawn the ``repro-serve`` child and forget any old address.
+
+        Counts every start after the first as a restart. The previous
+        port file is removed first so :meth:`wait_ready` never reads a
+        dead shard's address.
+        """
+        if self._process is not None and self._process.poll() is None:
+            return
+        if self._process is not None:
+            self.restarts += 1
+        self._address = None
+        self.cluster_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            self.port_file.unlink()
+        except FileNotFoundError:
+            pass
+        command = [
+            sys.executable,
+            "-m",
+            "repro.service.servecli",
+            "--port",
+            "0",
+            "--port-file",
+            str(self.port_file),
+            "--spool-dir",
+            str(self.spool_dir),
+            *self.args,
+        ]
+        environment = dict(os.environ)
+        environment.update(self.env)
+        with open(self.log_file, "ab") as sink:
+            self._process = subprocess.Popen(
+                command,
+                stdout=sink,
+                stderr=subprocess.STDOUT,
+                env=environment,
+                cwd=str(self.cluster_dir),
+            )
+        log.info(
+            "cluster.shard_started",
+            shard=self.name,
+            pid=self._process.pid,
+            restarts=self.restarts,
+        )
+
+    def wait_ready(self, timeout: float = 30.0) -> "Tuple[str, int]":
+        """Block until the shard published its port and answers 200.
+
+        Raises:
+            ServiceError: The child exited, or ``timeout`` elapsed
+                before ``/healthz`` answered.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._process is not None and self._process.poll() is not None:
+                raise ServiceError(
+                    f"shard {self.name!r} exited with status "
+                    f"{self._process.returncode} before becoming ready "
+                    f"(see {self.log_file})"
+                )
+            address = self.address
+            if address is not None:
+                try:
+                    status, _, _ = shard_request(
+                        address, "GET", "/healthz", timeout=2.0
+                    )
+                except ShardUnavailableError:
+                    status = None
+                if status == 200:
+                    return address
+            time.sleep(0.05)
+        raise ServiceError(
+            f"shard {self.name!r} not ready within {timeout:g}s "
+            f"(see {self.log_file})"
+        )
+
+    @property
+    def address(self) -> Optional["Tuple[str, int]"]:
+        if self._address is not None:
+            return self._address
+        try:
+            text = self.port_file.read_text(encoding="utf-8").strip()
+            host, _, port = text.rpartition(":")
+            self._address = (host, int(port))
+        except (OSError, ValueError):
+            return None
+        return self._address
+
+    def is_alive(self) -> bool:
+        return self._process is not None and self._process.poll() is None
+
+    def terminate(self) -> None:
+        if self.is_alive():
+            self._process.send_signal(signal.SIGTERM)
+
+    def kill(self) -> None:
+        if self.is_alive():
+            self._process.kill()
+
+    def join(self, timeout: float) -> bool:
+        if self._process is None:
+            return True
+        try:
+            self._process.wait(timeout=max(0.0, timeout))
+        except subprocess.TimeoutExpired:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardProcess(name={self.name!r}, pid={self.pid}, "
+            f"alive={self.is_alive()})"
+        )
+
+
+class InProcessShard(ShardHandle):
+    """A thread-served shard inside the current process (tests).
+
+    Args:
+        name: Shard identity.
+        service_factory: Zero-argument callable building a fresh
+            :class:`~repro.service.server.SimulationService` per
+            (re)start — each start gets its own registry and spool
+            wiring, like a real process would.
+    """
+
+    def __init__(self, name: str, service_factory) -> None:
+        self.name = name
+        self.service_factory = service_factory
+        self.restarts = 0
+        self.service = None
+        self._server = None
+        self._alive = False
+
+    def start(self) -> None:
+        from repro.service.server import serve_in_thread
+
+        if self._alive:
+            return
+        if self.service is not None:
+            self.restarts += 1
+        self.service = self.service_factory()
+        self.service.start()
+        self._server, _ = serve_in_thread(self.service)
+        self._alive = True
+
+    @property
+    def address(self) -> Optional["Tuple[str, int]"]:
+        return self._server.address if self._server is not None else None
+
+    def is_alive(self) -> bool:
+        return self._alive
+
+    def terminate(self) -> None:
+        """Graceful: stop serving, drain the service, mark exited."""
+        if not self._alive:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self.service.drain(grace=10.0)
+        self._alive = False
+
+    def kill(self) -> None:
+        """Abrupt: close the socket with no drain — a crash, HTTP-wise."""
+        if not self._alive:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._alive = False
+
+    def join(self, timeout: float) -> bool:
+        return not self._alive
+
+    def __repr__(self) -> str:
+        return f"InProcessShard(name={self.name!r}, alive={self._alive})"

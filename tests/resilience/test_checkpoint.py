@@ -222,3 +222,86 @@ class TestAdvisoryLock:
             "sig-child": 1,
             "sig-parent": 2,
         }
+
+
+class TestLockTakeoverIdentity:
+    """The stale-steal check must verify the *process*, not the PID."""
+
+    def test_start_ticks_readable_for_self(self):
+        import os
+
+        from repro.resilience.checkpoint import process_start_ticks
+
+        ticks = process_start_ticks(os.getpid())
+        assert isinstance(ticks, int) and ticks > 0
+
+    def test_recycled_pid_is_recognized_as_stale(self, tmp_path):
+        # A lockfile naming a PID that is alive *now* but whose
+        # recorded start time belongs to an earlier incarnation: the
+        # original holder is gone, the PID was recycled. Forge it with
+        # our own live PID and impossible start ticks.
+        import os
+
+        path = tmp_path / "s.ckpt"
+        checkpoint = SweepCheckpoint(path, config_hash="h")
+        checkpoint.lock_path.write_text(f"{os.getpid()} 1\n")
+        checkpoint.record("sig", 1)  # steals: identity refutes liveness
+        checkpoint.close()
+        assert SweepCheckpoint(path).load() == {"sig": 1}
+
+    def test_legacy_lock_with_live_pid_is_honored(self, tmp_path):
+        # A ticks-less (legacy) lockfile naming a live PID carries no
+        # identity to refute liveness — never steal blind.
+        import os
+
+        path = tmp_path / "s.ckpt"
+        checkpoint = SweepCheckpoint(path, config_hash="h")
+        checkpoint.lock_path.write_text(f"{os.getpid()}\n")
+        with pytest.raises(CheckpointError, match="locked by another"):
+            checkpoint.record("sig", 1)
+
+    def test_successor_steals_from_killed_holder(self, tmp_path):
+        """Two-process regression for the failover takeover path.
+
+        The child acquires the lock and is SIGKILLed mid-hold (the
+        shard-crash case) — the lockfile survives with the dead
+        holder's identity. The parent, playing the ring successor,
+        must verify the holder is gone and take over the append.
+        """
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "s.ckpt"
+        script = (
+            "import sys\n"
+            "from repro.resilience.checkpoint import SweepCheckpoint\n"
+            "checkpoint = SweepCheckpoint(sys.argv[1], config_hash='h')\n"
+            "checkpoint.record('sig-child', 1)\n"
+            "print('LOCKED', flush=True)\n"
+            "sys.stdin.readline()\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+            text=True,
+        )
+        assert child.stdout.readline().strip() == "LOCKED"
+        lock_body = SweepCheckpoint(path).lock_path.read_text().split()
+        assert lock_body[0] == str(child.pid)
+        assert len(lock_body) == 2  # pid + start ticks
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=30)
+        assert SweepCheckpoint(path).lock_path.exists()  # left behind
+        successor = SweepCheckpoint(path, config_hash="h")
+        successor.load()
+        successor.record("sig-successor", 2)  # steals the dead lock
+        successor.close()
+        assert SweepCheckpoint(path).load() == {
+            "sig-child": 1,
+            "sig-successor": 2,
+        }

@@ -1,0 +1,372 @@
+"""Cluster front door: routing, lifecycle, failover, aggregation."""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    QueueFullError,
+    ShardUnavailableError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.obs.validate import validate_dashboard
+from repro.report.dashboard import render_dashboard_text
+from repro.resilience.policy import SweepOutcome
+from repro.service import SimulationService
+from repro.service.cluster import ClusterService, serve_cluster_in_thread
+from repro.service.shard import InProcessShard
+
+
+class Workload:
+    segments = 2
+    references_per_segment = 100
+    seed = 7
+
+
+def ok_runner(job):
+    return SweepOutcome(results=[object()] * len(job.points))
+
+
+def payload(assoc=2):
+    return {
+        "points": [{"l1": "4K-16", "l2": "64K-32", "associativity": assoc}]
+    }
+
+
+def make_cluster(tmp_path, shard_count=3, **kwargs):
+    spool = tmp_path / "spool"
+
+    def factory():
+        return SimulationService(
+            workload=Workload(),
+            spool_dir=spool,
+            job_runner=ok_runner,
+            metrics=MetricsRegistry(),
+            tracer=Tracer(),
+        )
+
+    shards = [
+        InProcessShard(f"shard-{index}", factory)
+        for index in range(shard_count)
+    ]
+    kwargs.setdefault("cluster_dir", tmp_path / "cluster")
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("tracer", Tracer())
+    # Tests drive the lifecycle via probe_once; a long interval keeps
+    # the background prober out of the way.
+    kwargs.setdefault("probe_interval", 30.0)
+    kwargs.setdefault("restart", False)
+    cluster = ClusterService(shards, **kwargs)
+    cluster.start()
+    return cluster
+
+
+def wait_done(cluster, cluster_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = cluster.job(cluster_id)
+        if record and record["status"] in ("done", "partial", "failed"):
+            return record
+        time.sleep(0.01)
+    pytest.fail(f"job {cluster_id} never finished")
+
+
+class TestRouting:
+    def test_submission_routes_by_config_hash(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            key = record["config_hash"]
+            assert record["shard"] == cluster.ring.node_for(key)
+            assert record["shard_job_id"]
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_resubmission_keeps_affinity(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            first = cluster.submit(payload())
+            second = cluster.submit(payload())
+            assert first["shard"] == second["shard"]
+            assert first["id"] != second["id"]
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_distinct_configs_spread_over_shards(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            owners = {
+                cluster.submit(payload(assoc))["shard"]
+                for assoc in (1, 2, 4, 8, 16, 32)
+            }
+            assert len(owners) > 1
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_malformed_payload_rejected_at_the_door(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            with pytest.raises(AdmissionError):
+                cluster.submit({"points": []})
+            assert cluster.submissions() == []
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_dead_owner_routes_to_ring_successor(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            wait_done(cluster, record["id"])
+            owner, key = record["shard"], record["config_hash"]
+            cluster.shards[owner].kill()
+            cluster.probe_once()
+            rerouted = cluster.submit(payload())
+            assert rerouted["shard"] == cluster.ring.successor(
+                key, exclude=(owner,)
+            )
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_no_routable_shard_raises(self, tmp_path):
+        cluster = make_cluster(tmp_path, shard_count=2)
+        try:
+            for shard in cluster.shards.values():
+                shard.kill()
+            cluster.probe_once()
+            with pytest.raises(ShardUnavailableError):
+                cluster.submit(payload())
+            assert cluster.ready() == (False, "no routable shards")
+        finally:
+            cluster.drain(grace=5.0)
+
+
+class TestLifecycle:
+    def test_dead_shard_is_ejected(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            victim = sorted(cluster.shards)[0]
+            cluster.shards[victim].kill()
+            cluster.probe_once()
+            states = cluster.shard_states()
+            assert states[victim]["state"] == "dead"
+            assert cluster.breakers[victim].state == "open"
+            assert victim not in cluster.routable_shards()
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_dead_shard_restarts_after_backoff(self, tmp_path):
+        cluster = make_cluster(
+            tmp_path, restart=True, restart_backoff=0.01,
+            restart_backoff_cap=0.01,
+        )
+        try:
+            victim = sorted(cluster.shards)[0]
+            cluster.shards[victim].kill()
+            now = time.monotonic()
+            cluster.probe_once(now=now)
+            assert not cluster.shards[victim].is_alive()
+            cluster.probe_once(now=now + 5.0)
+            assert cluster.shards[victim].is_alive()
+            assert cluster.shards[victim].restarts == 1
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_failover_readmits_onto_successor(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            done = wait_done(cluster, record["id"])
+            owner, key = done["shard"], done["config_hash"]
+            # Rewind the router's view to in-flight, then lose the
+            # owner: the next sweep must re-admit onto the successor.
+            submission = cluster._submissions[record["id"]]
+            submission.status = "running"
+            cluster.shards[owner].kill()
+            cluster.probe_once()
+            moved = cluster.job(record["id"])
+            assert moved["readmissions"] == 1
+            assert moved["shard"] == cluster.ring.successor(
+                key, exclude=(owner,)
+            )
+            assert moved["shard_history"][0] == owner
+            final = wait_done(cluster, record["id"])
+            assert final["status"] == "done"
+            # The flight record spans the failover on one trace id.
+            flight = cluster.job_trace(record["id"])
+            names = [span["name"] for span in flight["tree"]]
+            assert "route" in names
+
+            def walk(nodes):
+                for node in nodes:
+                    yield node
+                    yield from walk(node["children"])
+
+            all_names = {span["name"] for span in walk(flight["tree"])}
+            assert {"route", "shard_failover", "readmit"} <= all_names
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_terminal_jobs_are_not_readmitted(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            wait_done(cluster, record["id"])
+            cluster.probe_once()  # refreshes the terminal status
+            owner = cluster.job(record["id"])["shard"]
+            cluster.shards[owner].kill()
+            cluster.probe_once()
+            assert cluster.job(record["id"])["readmissions"] == 0
+        finally:
+            cluster.drain(grace=5.0)
+
+
+class TestReads:
+    def test_hedged_read_falls_back_to_router_record(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            done = wait_done(cluster, record["id"])
+            assert done["shard_reachable"] is True
+            for shard in cluster.shards.values():
+                shard.kill()
+            stale = cluster.job(record["id"])
+            assert stale["shard_reachable"] is False
+            assert stale["status"] == done["status"]
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_unknown_job_is_none(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            assert cluster.job("cjob-missing") is None
+            assert cluster.job_trace("cjob-missing") is None
+        finally:
+            cluster.drain(grace=5.0)
+
+
+class TestAggregation:
+    def test_status_merges_shards_and_validates(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            wait_done(cluster, record["id"])
+            status = cluster.status()
+            assert status["ready"] is True
+            assert len(status["shards"]) == 3
+            assert sum(status["jobs"].values()) == 1
+            assert status["queue"]["capacity"] == 3 * 16
+            owner_row = status["shards"][record["shard"]]
+            assert owner_row["state"] == "healthy"
+            assert owner_row["jobs"] == 1
+            assert owner_row["execute_breaker"] == "closed"
+            payload_doc = cluster.dashboard_payload()
+            assert validate_dashboard(payload_doc) == []
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_dashboard_text_is_byte_stable(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            wait_done(cluster, record["id"])
+            cluster.probe_once()
+            first = render_dashboard_text(cluster.dashboard_payload())
+            second = render_dashboard_text(cluster.dashboard_payload())
+            assert first == second
+            assert "shards (3)" in first
+            assert first.encode("ascii")
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_jobs_are_shard_annotated(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            record = cluster.submit(payload())
+            wait_done(cluster, record["id"])
+            jobs = cluster.jobs()
+            assert len(jobs) == 1
+            assert jobs[0]["shard"] == record["shard"]
+        finally:
+            cluster.drain(grace=5.0)
+
+    def test_quantile_merge_is_exact(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        try:
+            for assoc in (1, 2, 4, 8):
+                wait_done(cluster, cluster.submit(payload(assoc))["id"])
+            status = cluster.status()
+            merged = status["metrics"]["quantile_histograms"][
+                "latency.job_seconds"
+            ]
+            # Counters in merged quantile buckets add exactly across
+            # shards: four jobs, four observations.
+            assert merged["count"] == 4
+            assert status["latency"]["latency.job_seconds"]["count"] == 4
+        finally:
+            cluster.drain(grace=5.0)
+
+
+class TestDrain:
+    def test_two_phase_drain_is_clean_and_closes_admission(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        record = cluster.submit(payload())
+        wait_done(cluster, record["id"])
+        assert cluster.drain(grace=10.0) is True
+        assert all(
+            not shard.is_alive() for shard in cluster.shards.values()
+        )
+        with pytest.raises(QueueFullError):
+            cluster.submit(payload())
+        assert cluster.ready() == (False, "draining")
+        manifest = json.loads(
+            (tmp_path / "cluster" / "manifest.json").read_text()
+        )
+        assert manifest["tool"] == "repro-cluster"
+
+
+class TestHTTP:
+    def test_front_door_http_surface(self, tmp_path):
+        cluster = make_cluster(tmp_path)
+        server, _ = serve_cluster_in_thread(cluster)
+        host, port = server.address
+        base = f"http://{host}:{port}"
+
+        def get(path):
+            try:
+                with urllib.request.urlopen(base + path) as response:
+                    return response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+
+        import urllib.error
+
+        try:
+            assert get("/healthz")[0] == 200
+            assert get("/readyz")[0] == 200
+            request = urllib.request.Request(
+                base + "/jobs",
+                data=json.dumps(payload()).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 202
+                record = json.loads(response.read())
+            assert record["shard"] in cluster.shards
+            status, body = get(f"/jobs/{record['id']}")
+            assert status == 200 and body["id"] == record["id"]
+            status, body = get("/shards")
+            assert status == 200 and len(body["shards"]) == 3
+            status, body = get("/metrics")
+            assert status == 200 and "shards" in body
+            status, body = get("/jobs")
+            assert status == 200 and len(body["submissions"]) == 1
+            assert get("/jobs/cjob-missing")[0] == 404
+            assert get("/nope")[0] == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            cluster.drain(grace=5.0)

@@ -1,0 +1,166 @@
+"""repro-loadgen: seeded mix, stats math, end-to-end closed loop."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.obs.validate import validate_history_file
+from repro.resilience.policy import SweepOutcome
+from repro.service import SimulationService, serve_in_thread
+from repro.service.loadgen import (
+    LoadStats,
+    main,
+    parse_target,
+    workload_mix,
+)
+
+
+class Workload:
+    segments = 2
+    references_per_segment = 100
+    seed = 7
+
+
+def ok_runner(job):
+    return SweepOutcome(results=[object()] * len(job.points))
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = SimulationService(
+        workload=Workload(),
+        spool_dir=tmp_path / "spool",
+        job_runner=ok_runner,
+        metrics=MetricsRegistry(),
+        tracer=Tracer(),
+    )
+    svc.start()
+    server, _ = serve_in_thread(svc)
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        svc.drain(grace=5.0)
+
+
+class TestWorkloadMix:
+    def test_same_seed_same_sequence(self):
+        assert workload_mix(1989, 25) == workload_mix(1989, 25)
+
+    def test_different_seed_different_sequence(self):
+        assert workload_mix(1989, 25) != workload_mix(7, 25)
+
+    def test_prefix_stability(self):
+        # Asking for fewer payloads yields a prefix of the longer run:
+        # the sequence is positional, not length-dependent.
+        assert workload_mix(1989, 30)[:10] == workload_mix(1989, 10)
+
+    def test_payload_shape(self):
+        for payload in workload_mix(3, 20):
+            (point,) = payload["points"]
+            assert point["l2"] == "64K-32"
+            assert point["associativity"] in (1, 2, 4)
+
+
+class TestParseTarget:
+    def test_accepts_http_url(self):
+        assert parse_target("http://127.0.0.1:8320") == ("127.0.0.1", 8320)
+
+    def test_accepts_bare_host_port(self):
+        assert parse_target("localhost:9") == ("localhost", 9)
+
+    def test_rejects_missing_port(self):
+        with pytest.raises(ReproError):
+            parse_target("http://localhost")
+
+
+class TestLoadStats:
+    def test_outcome_classification(self):
+        stats = LoadStats()
+        stats.record_submit(0.0, 202, 0.01)
+        stats.record_submit(1.0, 429, 0.0)
+        stats.record_submit(2.0, 400, 0.0)
+        stats.record_submit(3.0, None, 0.0)
+        stats.record_submit(4.0, 202, 0.02)
+        summary = stats.summary(wall_seconds=10.0)
+        assert summary["submitted"] == 5
+        assert summary["accepted"] == 2
+        assert summary["shed"] == 1
+        assert summary["rejected"] == 1
+        assert summary["unavailable"] == 1
+        assert summary["shed_rate"] == 0.2
+        assert summary["throughput_rps"] == 0.2
+
+    def test_recovery_is_longest_acceptance_gap(self):
+        stats = LoadStats()
+        for at, status in (
+            (0.0, 202), (1.0, 202), (2.0, 429), (3.0, 429), (7.5, 202),
+        ):
+            stats.record_submit(at, status, 0.0)
+        # Outage spans 1.0 -> 7.5: the 429s in between made no progress.
+        assert stats.recovery_seconds() == 6.5
+
+    def test_recovery_needs_two_acceptances(self):
+        stats = LoadStats()
+        stats.record_submit(0.0, 202, 0.0)
+        assert stats.recovery_seconds() == 0.0
+
+    def test_failed_jobs_counted(self):
+        stats = LoadStats()
+        stats.record_completion(0.5, "done")
+        stats.record_completion(0.6, "failed")
+        stats.record_completion(0.7, "lost")
+        summary = stats.summary(1.0)
+        assert summary["completed"] == 3
+        assert summary["failed_jobs"] == 2
+
+
+class TestClosedLoopEndToEnd:
+    def test_run_records_gateable_history(self, service, tmp_path, capsys):
+        host, port = service.address
+        history_path = tmp_path / "BENCH_loadgen.json"
+        code = main(
+            [
+                "--target", f"http://{host}:{port}",
+                "--mode", "closed",
+                "--requests", "6",
+                "--concurrency", "2",
+                "--seed", "11",
+                "--history", str(history_path),
+                "--json",
+            ]
+        )
+        assert code == 0
+        # The service logs onto the same stream; the summary JSON is
+        # the last line printed.
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        summary = json.loads(out_lines[-1])
+        assert summary["accepted"] == 6
+        assert summary["completed"] == 6
+        assert summary["failed_jobs"] == 0
+        assert summary["latency_p50_s"] >= 0.0
+        assert validate_history_file(history_path) == []
+        history = json.loads(history_path.read_text())
+        (entry,) = history["entries"]
+        assert entry["config"]["tool"] == "repro-loadgen"
+        timing = entry["results"]["loadgen_submit"]["timing"]
+        assert len(timing["samples"]) == 6
+
+    def test_unreachable_target_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "--target", "http://127.0.0.1:9",
+                "--requests", "2",
+                "--concurrency", "1",
+                "--resubmit-delay", "0",
+                "--history", str(tmp_path / "h.json"),
+            ]
+        )
+        assert code == 2
+        assert not (tmp_path / "h.json").exists()
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["unavailable"] == 2

@@ -1,0 +1,137 @@
+"""Consistent-hash ring: placement, stability, wrap-around."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.ring import DEFAULT_REPLICAS, ConsistentHashRing, ring_hash
+
+NODES = ["shard-0", "shard-1", "shard-2", "shard-3"]
+
+
+def keys(count):
+    return [f"config-{index:04d}" for index in range(count)]
+
+
+class TestHash:
+    def test_deterministic_across_instances(self):
+        assert ring_hash("abc") == ring_hash("abc")
+
+    def test_distinct_keys_distinct_hashes(self):
+        hashes = {ring_hash(key) for key in keys(500)}
+        assert len(hashes) == 500
+
+
+class TestPlacement:
+    def test_placement_is_deterministic(self):
+        # Two independently built rings (insertion order shuffled)
+        # place every key identically: placement is a pure function of
+        # the node set, never of construction history or any ambient
+        # seed (REPRO_TRACE_SEED or otherwise).
+        first = ConsistentHashRing(NODES)
+        second = ConsistentHashRing(list(reversed(NODES)))
+        for key in keys(200):
+            assert first.node_for(key) == second.node_for(key)
+            assert first.preference_order(key) == second.preference_order(
+                key
+            )
+
+    def test_every_node_gets_keys(self):
+        ring = ConsistentHashRing(NODES)
+        assignments = ring.assignments(keys(400))
+        counts = {node: 0 for node in NODES}
+        for owner in assignments.values():
+            counts[owner] += 1
+        # 64 virtual nodes keep the split within a loose factor of
+        # fair share (100 per node here).
+        assert all(30 <= count <= 250 for count in counts.values()), counts
+
+    def test_preference_order_covers_all_nodes_once(self):
+        ring = ConsistentHashRing(NODES)
+        for key in keys(50):
+            order = ring.preference_order(key)
+            assert sorted(order) == sorted(NODES)
+            assert order[0] == ring.node_for(key)
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing().node_for("k")
+
+
+class TestMinimalMovement:
+    def test_join_moves_at_most_a_fair_share(self):
+        # Adding one node to N-1 must move roughly 1/N of the keys —
+        # and only *to* the new node, never between old ones.
+        population = keys(1000)
+        owner_before = ConsistentHashRing(NODES[:-1]).assignments(population)
+        ring = ConsistentHashRing(NODES[:-1])
+        ring.add(NODES[-1])
+        owner_after = ring.assignments(population)
+        moved = [
+            key
+            for key in population
+            if owner_before[key] != owner_after[key]
+        ]
+        assert all(owner_after[key] == NODES[-1] for key in moved)
+        # Expected movement is 1/N (=250 here); allow generous slack
+        # for hash variance but far below a rehash-everything 750.
+        assert len(moved) <= 2 * len(population) // len(NODES)
+
+    def test_leave_moves_only_the_leavers_keys(self):
+        population = keys(1000)
+        full = ConsistentHashRing(NODES)
+        owner_before = {key: full.node_for(key) for key in population}
+        ring = ConsistentHashRing(NODES)
+        ring.remove(NODES[1])
+        for key in population:
+            if owner_before[key] != NODES[1]:
+                assert ring.node_for(key) == owner_before[key]
+
+    def test_remove_then_add_restores_placement(self):
+        population = keys(300)
+        ring = ConsistentHashRing(NODES)
+        owner_before = {key: ring.node_for(key) for key in population}
+        ring.remove(NODES[2])
+        ring.add(NODES[2])
+        assert {key: ring.node_for(key) for key in population} == (
+            owner_before
+        )
+
+
+class TestSuccessor:
+    def test_successor_is_next_distinct_node(self):
+        ring = ConsistentHashRing(NODES)
+        for key in keys(50):
+            order = ring.preference_order(key)
+            assert ring.successor(key) == order[1]
+            assert ring.successor(key, exclude=(order[1],)) == order[2]
+
+    def test_successor_wraps_past_the_highest_point(self):
+        ring = ConsistentHashRing(NODES)
+        top_hash, top_node = ring._points[-1]
+        # A key hashing beyond the ring's highest virtual node wraps
+        # to the first point.
+        wrap_key = next(
+            key
+            for key in (f"wrap-{index}" for index in range(100_000))
+            if ring_hash(key) > top_hash
+        )
+        assert ring.node_for(wrap_key) == ring._points[0][1]
+
+    def test_all_excluded_raises(self):
+        ring = ConsistentHashRing(NODES[:2])
+        with pytest.raises(ConfigurationError):
+            ring.successor("k", exclude=tuple(NODES[:2]))
+
+
+class TestMembership:
+    def test_add_is_idempotent(self):
+        ring = ConsistentHashRing(NODES)
+        ring.add(NODES[0])
+        assert len(ring._points) == len(NODES) * DEFAULT_REPLICAS
+
+    def test_contains_and_len(self):
+        ring = ConsistentHashRing(NODES)
+        assert NODES[0] in ring
+        assert "missing" not in ring
+        assert len(ring) == len(NODES)
+        assert ring.nodes == sorted(NODES)
