@@ -16,10 +16,13 @@ Layout of a store directory::
     <root>/<config_hash>.rpm2        packed stream (RPM2, mmap-able)
     <root>/<config_hash>.meta.json   sidecar: L1 miss ratio + counts
 
-Writes are atomic (temp file + ``os.replace``), so concurrent workers
-racing to persist the same capture converge on one valid artifact.
-A corrupt or truncated artifact is treated as a miss and recaptured,
-never trusted.
+Writes are atomic *and durable* (temp file + fsync + ``os.replace`` +
+directory fsync, via :mod:`repro.storage.io`), so concurrent workers
+racing to persist the same capture converge on one valid artifact and
+a crash cannot publish a partial one under a content-addressed name.
+Streams carry a CRC32 footer verified on every load; a corrupt,
+truncated, or bit-rotted artifact is treated as a miss and
+recaptured, never trusted.
 
 Enable the store by exporting ``REPRO_STREAM_ARTIFACTS=<dir>`` (the
 CLI flags ``--stream-artifacts`` set this for their worker pools) or
@@ -35,7 +38,8 @@ from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.cache.stream import PackedMissStream
-from repro.errors import TraceFormatError
+from repro.errors import IntegrityError, TraceFormatError
+from repro.storage.io import get_io
 
 #: Environment variable naming the artifact directory.
 ENV_VAR = "REPRO_STREAM_ARTIFACTS"
@@ -83,7 +87,14 @@ class StreamArtifactStore:
             meta = json.loads(meta_path.read_text())
             miss_ratio = float(meta["l1_readin_miss_ratio"])
             packed = PackedMissStream.load(stream_path, mmap=True)
-        except (TraceFormatError, OSError, ValueError, KeyError, TypeError):
+        except (
+            IntegrityError,  # CRC32 footer refuted the content
+            TraceFormatError,
+            OSError,
+            ValueError,
+            KeyError,
+            TypeError,
+        ):
             return None
         if packed.n_events != meta.get("n_events", packed.n_events):
             return None
@@ -109,25 +120,40 @@ class StreamArtifactStore:
             "n_flushes": packed.n_flushes,
             "content_hash": packed.content_hash(),
         }
+        io = get_io()
         fd, temp = tempfile.mkstemp(dir=self.root, suffix=".meta.tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(meta, handle, indent=2, sort_keys=True)
-            os.replace(temp, meta_path)
-        except BaseException:
+                io.fsync(handle)
+            io.replace(temp, meta_path)
+        except OSError:
             _unlink_quietly(temp)
             raise
+        io.fsync_dir(self.root)
         return stream_path
 
     def _write_atomic(self, path: Path, packed: PackedMissStream) -> None:
+        """Publish ``packed`` under ``path`` durably and atomically.
+
+        The temp file is fsync'd *before* the rename and the store
+        directory *after* it — without both, a crash in the window
+        between rename and writeback could publish an empty or partial
+        artifact under a content-addressed name, which later loads
+        would then have to detect and recapture forever.
+        """
+        io = get_io()
         fd, temp = tempfile.mkstemp(dir=self.root, suffix=".rpm2.tmp")
         os.close(fd)
         try:
             packed.save(temp)
-            os.replace(temp, path)
-        except BaseException:
+            with open(temp, "rb") as handle:
+                io.fsync(handle)
+            io.replace(temp, path)
+        except OSError:
             _unlink_quietly(temp)
             raise
+        io.fsync_dir(self.root)
 
     def __repr__(self) -> str:
         return f"StreamArtifactStore(root={str(self.root)!r})"

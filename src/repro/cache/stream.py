@@ -305,8 +305,15 @@ class PackedMissStream:
 
         The write is a fixed header plus three bulk column writes — no
         per-record packing. Plain files are laid out 8-byte aligned so
-        :meth:`load` can map them zero-copy.
+        :meth:`load` can map them zero-copy. An 8-byte CRC32 footer
+        (:func:`repro.storage.framing.crc32_footer`) follows the last
+        column so :meth:`load` can verify the whole file end to end;
+        readers of this version still accept footer-less legacy files.
         """
+        import zlib
+
+        from repro.storage.framing import FOOTER_MAGIC
+
         path = Path(path)
         header = _HEADER.pack(
             _MAGIC,
@@ -317,13 +324,16 @@ class PackedMissStream:
         )
         codes = bytes(self._codes)
         pad = b"\x00" * (_pad8(_HEADER.size + len(codes)) - _HEADER.size - len(codes))
+        chunks = (header, codes, pad, self._address_bytes(), self._flush_bytes())
+        crc = 0
+        for chunk in chunks:
+            crc = zlib.crc32(chunk, crc)
+        footer = FOOTER_MAGIC + struct.pack("<I", crc & 0xFFFFFFFF)
         opener = gzip.open if path.suffix == ".gz" else open
         with opener(path, "wb") as handle:
-            handle.write(header)
-            handle.write(codes)
-            handle.write(pad)
-            handle.write(self._address_bytes())
-            handle.write(self._flush_bytes())
+            for chunk in chunks:
+                handle.write(chunk)
+            handle.write(footer)
 
     @classmethod
     def load(cls, path, mmap: bool = True) -> "PackedMissStream":
@@ -339,6 +349,8 @@ class PackedMissStream:
         Raises:
             TraceFormatError: On an unknown magic, unsupported version,
                 or truncated/corrupt file.
+            IntegrityError: When the file carries a CRC32 footer and
+                the content does not hash to it (bitrot, tampering).
         """
         path = Path(path)
         gzipped = path.suffix == ".gz"
@@ -385,8 +397,19 @@ class PackedMissStream:
 
     @classmethod
     def _parse(cls, data: bytes, path) -> "PackedMissStream":
-        """Materialize a stream from RPM2 bytes (non-mmap path)."""
-        refs, n_events, n_flushes, addr_off, _ = cls._parse_header(data, path)
+        """Materialize a stream from RPM2 bytes (non-mmap path).
+
+        When the file carries a CRC32 footer (anything saved by this
+        version), the whole payload is verified against it first —
+        :class:`~repro.errors.IntegrityError` on mismatch. Footer-less
+        legacy files parse as before.
+        """
+        from repro.storage.framing import verify_crc32_footer
+
+        refs, n_events, n_flushes, addr_off, total = cls._parse_header(
+            data, path
+        )
+        verify_crc32_footer(data, total, context=str(path))
         codes = array("B")
         codes.frombytes(data[_HEADER.size:_HEADER.size + n_events])
         addresses = _u64_array(data[addr_off:addr_off + 8 * n_events])
@@ -414,7 +437,12 @@ class PackedMissStream:
                     f"truncated miss-stream header in {path}"
                 ) from None
         view = memoryview(mapping)
-        refs, n_events, n_flushes, addr_off, _ = cls._parse_header(view, path)
+        refs, n_events, n_flushes, addr_off, total = cls._parse_header(
+            view, path
+        )
+        from repro.storage.framing import verify_crc32_footer
+
+        verify_crc32_footer(view, total, context=str(path))
         codes = view[_HEADER.size:_HEADER.size + n_events]
         addresses = view[addr_off:addr_off + 8 * n_events].cast("Q")
         # The flush index is tiny; materialize it so builders and

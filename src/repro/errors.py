@@ -66,6 +66,32 @@ class SweepTimeoutError(SweepPointError):
     """
 
 
+class StorageError(ReproError):
+    """A durable-storage operation failed at the disk level.
+
+    Raised by the :mod:`repro.storage` I/O layer (and the writers
+    threaded through it — checkpoints, artifact stores, spool writers,
+    bench histories) when the operating system refuses a write:
+    ``ENOSPC``, ``EIO``, a failed ``fsync``. Unlike a transient worker
+    fault, retrying without operator action will not help, so the
+    service maps it onto the execute breaker and a ``/healthz``
+    storage detail instead of letting a bare ``OSError`` escape a
+    worker thread.
+    """
+
+
+class IntegrityError(StorageError):
+    """Stored data failed an end-to-end integrity check on read.
+
+    Raised when a CRC32 record frame, an RPM2 column checksum, or a
+    bench-history envelope checksum does not match the bytes on disk —
+    bitrot, a torn write that survived undetected, or manual tampering.
+    The contract is *detected, never silently wrong*: a reader that
+    cannot verify raises this instead of returning plausible garbage,
+    and ``repro-fsck`` repairs or quarantines the file.
+    """
+
+
 class CheckpointError(ReproError):
     """A sweep checkpoint could not be created, read, or matched.
 

@@ -20,13 +20,15 @@ honest* and *attributable*:
 The consumers live next door: :mod:`repro.obs.compare` gates
 regressions against the history, :mod:`repro.obs.validate` checks the
 schema, and ``scripts/run_benchmarks.py`` produces the entries.
-Everything here depends only on the standard library, per the
-``repro.obs`` import rule.
+Everything here depends only on the standard library plus the
+stdlib-only durability primitives in :mod:`repro.storage.io` /
+:mod:`repro.storage.framing`, per the ``repro.obs`` import rule.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 import platform
@@ -37,6 +39,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.manifest import git_sha
+
+_LOG = logging.getLogger("repro.obs.bench")
 
 #: Version of the ``BENCH_*.json`` history layout (bump on breaking
 #: changes; :mod:`repro.obs.validate` rejects newer-than-supported).
@@ -306,6 +310,15 @@ class BenchHistory:
     trajectory. Loading a legacy single-run payload transparently
     migrates it into the first entry — fixing the old behavior where
     ``run_benchmarks.py -o`` clobbered all prior results.
+
+    Durability: :meth:`save` writes via write-temp + fsync + atomic
+    rename and stamps an ``integrity`` CRC32 over the entries, so a
+    crash mid-save leaves the previous file intact and bitrot is
+    detected (:class:`~repro.errors.IntegrityError`) instead of
+    silently skewing a regression baseline. A file torn by a legacy
+    non-atomic writer loads with the torn tail *skipped and
+    reported* (:attr:`torn_tail_dropped`, plus a logged warning) —
+    the intact prefix of the trajectory survives.
     """
 
     def __init__(self, data: Optional[Dict[str, Any]] = None) -> None:
@@ -316,19 +329,75 @@ class BenchHistory:
                 "entries": [],
             }
         self.data = data
+        #: Whether :meth:`load` had to drop a torn trailing entry.
+        self.torn_tail_dropped = False
 
     @classmethod
     def load(cls, path) -> "BenchHistory":
-        """Read a history file; legacy single-run payloads migrate."""
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        """Read a history file; legacy single-run payloads migrate.
+
+        A file carrying an ``integrity`` checksum is verified against
+        its entries — :class:`~repro.errors.IntegrityError` on
+        mismatch. A file with a torn tail (truncated mid-write by a
+        legacy writer or a crash) is recovered entry by entry: the
+        complete prefix loads, the torn entry is dropped, and the loss
+        is reported via :attr:`torn_tail_dropped` and a warning.
+        """
+        from repro.storage.framing import verify_document_checksum
+
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return cls._recover_torn(text, path)
         if not isinstance(payload, dict):
             raise ValueError(f"{path}: benchmark history is not a JSON object")
+        if "integrity" in payload:
+            verify_document_checksum(
+                payload.get("entries", []),
+                payload["integrity"],
+                context=f"benchmark history {path}",
+            )
         if "entries" not in payload:
             history = cls()
             history.data["entries"].append(_migrate_legacy_payload(payload))
             return history
         return cls(payload)
+
+    @classmethod
+    def _recover_torn(cls, text: str, path) -> "BenchHistory":
+        """Salvage the intact entry prefix of a torn history file."""
+        marker = text.find('"entries"')
+        start = text.find("[", marker) if marker >= 0 else -1
+        if start < 0:
+            raise ValueError(
+                f"{path}: benchmark history is torn beyond recovery "
+                "(no entries array found)"
+            )
+        decoder = json.JSONDecoder()
+        entries: List[Dict[str, Any]] = []
+        position = start + 1
+        while True:
+            while position < len(text) and text[position] in " \t\r\n,":
+                position += 1
+            if position >= len(text) or text[position] == "]":
+                break
+            try:
+                entry, position = decoder.raw_decode(text, position)
+            except json.JSONDecodeError:
+                break  # the torn tail: drop it, keep the prefix
+            entries.append(entry)
+        history = cls()
+        history.data["entries"] = entries
+        history.torn_tail_dropped = True
+        _LOG.warning(
+            "benchmark history %s is torn: recovered %d intact "
+            "entries, dropped the truncated tail",
+            path,
+            len(entries),
+        )
+        return history
 
     @classmethod
     def load_or_create(cls, path) -> "BenchHistory":
@@ -418,10 +487,21 @@ class BenchHistory:
         return json.dumps(self.data, indent=2, sort_keys=False, default=repr)
 
     def save(self, path) -> Path:
-        """Write the history to ``path`` (parents created); returns it."""
+        """Durably write the history to ``path``; returns it.
+
+        The write is temp + fsync + atomic rename + directory fsync
+        (:func:`repro.storage.io.atomic_write_text`), and the
+        ``integrity`` CRC32 over the entries is refreshed first —
+        a crash mid-save can cost at most the *new* entry, never the
+        trajectory.
+        """
+        from repro.storage.framing import document_checksum
+        from repro.storage.io import atomic_write_text
+
+        self.data["integrity"] = document_checksum(self.entries)
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        atomic_write_text(path, self.to_json() + "\n")
         return path
 
     def __len__(self) -> int:

@@ -36,14 +36,25 @@ class JsonlWriter:
     """
 
     def __init__(self, path: PathLike, append: bool = True) -> None:
+        from repro.storage.io import get_io
+
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self.path, "a" if append else "w", encoding="utf-8")
+        self._handle = get_io().open(
+            self.path, "a" if append else "w", encoding="utf-8"
+        )
 
     def write(self, record: Dict[str, Any]) -> None:
         """Append one record as a JSON line."""
-        self._handle.write(_canonical(record))
-        self._handle.write("\n")
+        from repro.storage.io import get_io
+
+        get_io().write(self._handle, _canonical(record) + "\n")
+
+    def sync(self) -> None:
+        """Flush and fsync the spool — records so far are durable."""
+        from repro.storage.io import get_io
+
+        get_io().fsync(self._handle)
 
     def write_many(self, records) -> None:
         """Append every record of an iterable."""

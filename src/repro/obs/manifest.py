@@ -172,10 +172,18 @@ class RunManifest:
         return json.dumps(self.data, indent=2, sort_keys=True, default=repr)
 
     def write(self, path) -> Path:
-        """Write the manifest to ``path`` (parents created); returns it."""
+        """Durably write the manifest to ``path``; returns it.
+
+        Uses temp + fsync + atomic rename
+        (:func:`repro.storage.io.atomic_write_text`), so a crash
+        mid-write can never leave a torn manifest next to valid
+        results.
+        """
+        from repro.storage.io import atomic_write_text
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        atomic_write_text(path, self.to_json() + "\n")
         return path
 
     @property

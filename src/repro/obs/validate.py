@@ -8,6 +8,7 @@ run produced schema-valid artifacts before archiving them::
     python -m repro.obs.validate --history BENCH_simulator.json
     python -m repro.obs.validate --report results/trajectory.json
     python -m repro.obs.validate --dashboard dashboard.json
+    python -m repro.obs.validate --fsck-report fsck.json
 
 Exit status 0 when everything validates; 1 with one error per line on
 stderr otherwise.
@@ -547,6 +548,106 @@ def validate_dashboard_file(path) -> List[str]:
     return validate_dashboard(data)
 
 
+#: Highest ``repro-fsck --report`` schema version this validator
+#: understands. Mirrors
+#: ``repro.storage.fsck.FSCK_REPORT_SCHEMA_VERSION`` (same duplication
+#: rationale as the trajectory-report constant above; a cross-check
+#: test keeps them in lockstep).
+SUPPORTED_FSCK_REPORT_SCHEMA_VERSION = 1
+
+#: Required fsck-report keys and their accepted types.
+_FSCK_REPORT_FIELDS = {
+    "schema_version": (int,),
+    "kind": (str,),
+    "generated_unix": (int, float),
+    "root": (str,),
+    "repair": (bool,),
+    "scanned": (dict,),
+    "findings": (list,),
+    "counts": (dict,),
+    "ok": (bool,),
+}
+
+#: Required keys of one fsck finding and their accepted types.
+_FSCK_FINDING_FIELDS = {
+    "path": (str,),
+    "kind": (str,),
+    "problem": (str,),
+    "action": (str,),
+    "repairable": (bool,),
+    "detail": (str,),
+}
+
+#: The dispositions ``repro-fsck`` records per finding.
+_FSCK_ACTIONS = frozenset(
+    {"detected", "repaired", "removed", "quarantined"}
+)
+
+#: Required keys of the fsck report's ``counts`` roll-up.
+_FSCK_COUNT_KEYS = (
+    "verified", "findings", "repaired", "quarantined", "unrepairable",
+)
+
+
+def validate_fsck_report(data: Dict[str, Any]) -> List[str]:
+    """Structural errors in a ``repro-fsck`` report dict (empty = valid).
+
+    Checks the envelope, every finding's fields and disposition, the
+    ``counts`` roll-up keys, and that ``ok`` agrees with the
+    unrepairable count — an ``ok: true`` report with unrepairable
+    findings would let CI archive corruption as a pass.
+    """
+    if not isinstance(data, dict):
+        return ["fsck-report: not a JSON object"]
+    errors = _check_fields(data, _FSCK_REPORT_FIELDS, "fsck-report")
+    errors.extend(
+        _check_version(
+            data, SUPPORTED_FSCK_REPORT_SCHEMA_VERSION, "fsck-report"
+        )
+    )
+    kind = data.get("kind")
+    if isinstance(kind, str) and kind != "fsck-report":
+        errors.append(f"fsck-report: kind {kind!r} != 'fsck-report'")
+    for index, finding in enumerate(data.get("findings") or []):
+        where = f"fsck-report findings[{index}]"
+        if not isinstance(finding, dict):
+            errors.append(f"{where}: not a JSON object")
+            continue
+        errors.extend(_check_fields(finding, _FSCK_FINDING_FIELDS, where))
+        action = finding.get("action")
+        if isinstance(action, str) and action not in _FSCK_ACTIONS:
+            errors.append(
+                f"{where}: unknown action {action!r} "
+                f"(expected one of {sorted(_FSCK_ACTIONS)})"
+            )
+    counts = data.get("counts")
+    if isinstance(counts, dict):
+        for key in _FSCK_COUNT_KEYS:
+            if not isinstance(counts.get(key), int):
+                errors.append(
+                    f"fsck-report: counts missing or non-integer {key!r}"
+                )
+        unrepairable = counts.get("unrepairable")
+        ok = data.get("ok")
+        if isinstance(unrepairable, int) and isinstance(ok, bool):
+            if ok != (unrepairable == 0):
+                errors.append(
+                    f"fsck-report: 'ok' is {ok} but counts report "
+                    f"{unrepairable} unrepairable finding(s)"
+                )
+    return errors
+
+
+def validate_fsck_report_file(path) -> List[str]:
+    """Structural errors in a ``repro-fsck --report`` JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_fsck_report(data)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: validate manifests / traces / bench histories; 0 iff valid."""
     parser = argparse.ArgumentParser(
@@ -577,15 +678,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--job-trace", default=None, dest="job_trace",
         help="path to a flight-record JSON (/jobs/<id>/trace) to validate",
     )
+    parser.add_argument(
+        "--fsck-report", default=None, dest="fsck_report",
+        help="path to a repro-fsck report JSON (--report FILE) to validate",
+    )
     args = parser.parse_args(argv)
     inputs = (
         args.manifest, args.trace, args.history, args.report,
-        args.dashboard, args.job_trace,
+        args.dashboard, args.job_trace, args.fsck_report,
     )
     if all(value is None for value in inputs):
         parser.error(
             "nothing to validate: give a manifest, --trace, --history, "
-            "--report, --dashboard, or --job-trace"
+            "--report, --dashboard, --job-trace, or --fsck-report"
         )
     errors = []
     checked = []
@@ -607,6 +712,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.job_trace is not None:
         errors.extend(validate_job_trace_file(args.job_trace))
         checked.append(args.job_trace)
+    if args.fsck_report is not None:
+        errors.extend(validate_fsck_report_file(args.fsck_report))
+        checked.append(args.fsck_report)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:

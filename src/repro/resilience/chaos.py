@@ -27,6 +27,18 @@ the resilience layer makes about it:
   pool-worker spans (including a retried attempt) to the job's
   ``trace_id`` with a critical path summing to the end-to-end
   latency;
+- ``torn-disk`` — the machine "loses power" mid-write at *every*
+  injected write point of a checkpointed sweep (a torn, partially
+  durable append each time, enumerated by a recording dry run); after
+  each crash ``repro-fsck --repair`` heals the torn tail and a resumed
+  sweep completes bit-identically — zero silent data loss at any
+  crash point;
+- ``bitrot``  — a flipped byte in a checkpoint, a stream artifact,
+  and a benchmark history is *detected* by every reader as a typed
+  :class:`~repro.errors.IntegrityError` (never returned as data),
+  ``repro-fsck`` quarantines all three with an honest unrepairable
+  verdict, and a recomputation from the quarantined state is
+  bit-identical to the baseline — detection, never wrong answers;
 - ``cluster`` — a whole shard process is SIGKILLed mid-job under
   live ``repro-loadgen`` traffic; the front door ejects it, re-admits
   the orphaned job onto the ring successor (which *resumes* the
@@ -569,6 +581,198 @@ def scenario_cluster(harness: ChaosHarness) -> bool:
             cluster.drain(grace=15.0)
 
 
+def scenario_torn_disk(harness: ChaosHarness) -> bool:
+    """Power loss at every checkpoint write point; no silent data loss.
+
+    A dry run under a recording :class:`~repro.storage.FaultingIO`
+    enumerates every ``write`` that touches the sweep checkpoint. The
+    scenario then replays the sweep once per write point with a
+    ``torn`` fault injected there — the first half of that append
+    reaches the platter, the rest (and everything un-fsync'd) is lost,
+    exactly as on power failure. After each crash:
+
+    - ``repro-fsck --repair`` must leave the spool clean (a torn tail
+      is always repairable — framing makes the damage legible), and
+    - a fault-free rerun over the same checkpoint must complete with
+      results bit-identical to the baseline.
+
+    Together: whatever instant the power fails, the checkpoint either
+    resumes exactly or is honestly healed — never silently wrong.
+    """
+    from repro.storage.faultio import (
+        InjectedCrashError,
+        IOFaultPlan,
+        IOFaultSpec,
+        activate_io_plan,
+        deactivate_io_plan,
+    )
+    from repro.storage.fsck import scan_directory
+
+    # Dry run: enumerate the injection points (header + one append per
+    # point, but counted, not assumed).
+    with tempfile.TemporaryDirectory() as tmp:
+        recorder = activate_io_plan(IOFaultPlan(), record=True)
+        try:
+            dry = harness.sweep(
+                None, checkpoint=str(Path(tmp) / "dry.ckpt")
+            )
+        finally:
+            deactivate_io_plan()
+        if not (dry.ok and harness.matches_baseline(dry)):
+            return False
+        # Substring match, exactly as an IOFaultSpec's path= option
+        # matches: the header's atomic write lands on "<name>.ckpt.tmp"
+        # and is an injection point too.
+        writes = sum(
+            1
+            for op, path in recorder.operations
+            if op == "write" and ".ckpt" in path
+        )
+    if writes <= len(POINTS):
+        return False  # the checkpoint path is not instrumented
+
+    for nth in range(1, writes + 1):
+        with tempfile.TemporaryDirectory() as tmp:
+            checkpoint = Path(tmp) / "sweep.ckpt"
+            activate_io_plan(
+                IOFaultPlan(
+                    [IOFaultSpec("torn", "write", path=".ckpt", nth=nth)]
+                )
+            )
+            try:
+                harness.sweep(None, checkpoint=str(checkpoint))
+                return False  # the crash point never fired
+            except InjectedCrashError:
+                pass
+            finally:
+                deactivate_io_plan()
+            report = scan_directory(Path(tmp), repair=True)
+            if not report["ok"]:
+                return False  # torn tail was not repairable
+            resumed = harness.sweep(None, checkpoint=str(checkpoint))
+            if not (resumed.ok and harness.matches_baseline(resumed)):
+                return False
+    return True
+
+
+def scenario_bitrot(harness: ChaosHarness) -> bool:
+    """Flipped bytes are detected and quarantined, never believed.
+
+    Persists the three durable formats — a framed sweep checkpoint, a
+    CRC32-footed RPM2 stream artifact, and a checksummed benchmark
+    history — then rots one byte (or digit) in each and asserts the
+    end-to-end guarantee:
+
+    - every reader raises a *typed*
+      :class:`~repro.errors.IntegrityError` (the artifact store treats
+      the rot as a cache miss) — corrupt data is never returned;
+    - ``repro-fsck`` detects all three, and ``--repair`` quarantines
+      them with an honest ``ok: false`` verdict (bitrot away from a
+      tail is never "repaired" by guessing); a rescan is clean;
+    - with the rotten checkpoint quarantined, the sweep recomputes
+      from scratch, bit-identical to the fault-free baseline.
+    """
+    from repro.cache.artifacts import StreamArtifactStore, set_artifact_store
+    from repro.cache.hierarchy import (
+        cached_packed_miss_stream,
+        clear_miss_stream_cache,
+    )
+    from repro.cache.stream import PackedMissStream
+    from repro.errors import IntegrityError
+    from repro.obs.bench import BenchHistory
+    from repro.resilience.checkpoint import SweepCheckpoint
+    from repro.storage.fsck import scan_directory
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        checkpoint = root / "sweep.ckpt"
+        clean = harness.sweep(None, checkpoint=str(checkpoint))
+        if not (clean.ok and harness.matches_baseline(clean)):
+            return False
+
+        store = StreamArtifactStore(root / "artifacts")
+        clear_miss_stream_cache()
+        set_artifact_store(store)
+        try:
+            cached_packed_miss_stream(harness.workload, 4096, 16)
+        finally:
+            set_artifact_store(None)
+            clear_miss_stream_cache()
+        artifact = root / "artifacts" / (
+            store.key(harness.workload, 4096, 16) + ".rpm2"
+        )
+        if not artifact.exists():
+            return False
+
+        history_path = root / "BENCH_chaos.json"
+        history = BenchHistory()
+        history.append(
+            {
+                "config_hash": "cafe",
+                "git_sha": None,
+                "median_seconds": 123456.789,
+            },
+            dedupe=False,
+        )
+        history.save(history_path)
+
+        # Rot each format: a flipped bit mid-checkpoint (a middle
+        # record, not the tail), a flipped bit mid-artifact, and a
+        # silently changed digit inside the history entries (the JSON
+        # stays well-formed — only the checksum can tell).
+        raw = bytearray(checkpoint.read_bytes())
+        lines = bytes(raw).split(b"\n")
+        offset = len(lines[0]) + 1 + len(lines[1]) // 2
+        raw[offset] ^= 0x01
+        checkpoint.write_bytes(bytes(raw))
+
+        raw = bytearray(artifact.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        artifact.write_bytes(bytes(raw))
+
+        history_path.write_bytes(
+            history_path.read_bytes().replace(b"123456.789", b"123456.788")
+        )
+
+        # Every reader reports a typed integrity failure; none returns
+        # the rotten bytes as data.
+        try:
+            SweepCheckpoint(checkpoint).load()
+            return False
+        except IntegrityError:
+            pass
+        try:
+            PackedMissStream.load(artifact, mmap=False)
+            return False
+        except IntegrityError:
+            pass
+        try:
+            BenchHistory.load(history_path)
+            return False
+        except IntegrityError:
+            pass
+        if store.load(harness.workload, 4096, 16) is not None:
+            return False
+
+        # fsck sees all three; --repair quarantines them and says so.
+        report = scan_directory(root, repair=False)
+        problems = {f["problem"] for f in report["findings"]}
+        if report["ok"] or not {"frame-corrupt", "checksum-mismatch"} <= problems:
+            return False
+        repaired = scan_directory(root, repair=True)
+        if repaired["ok"] or repaired["counts"]["quarantined"] < 3:
+            return False
+        if scan_directory(root, repair=False)["counts"]["findings"]:
+            return False
+
+        # Never wrong answers: the rotten checkpoint is gone (moved to
+        # quarantine/), so the sweep recomputes — bit-identically.
+        if checkpoint.exists():
+            return False
+        recomputed = harness.sweep(None, checkpoint=str(checkpoint))
+        return recomputed.ok and harness.matches_baseline(recomputed)
+
+
 #: Scenario registry, in execution order.
 SCENARIOS: Dict[str, Callable[[ChaosHarness], bool]] = {
     "crash": scenario_crash,
@@ -577,6 +781,8 @@ SCENARIOS: Dict[str, Callable[[ChaosHarness], bool]] = {
     "corrupt": scenario_corrupt,
     "resume": scenario_resume,
     "service": scenario_service,
+    "torn-disk": scenario_torn_disk,
+    "bitrot": scenario_bitrot,
     "cluster": scenario_cluster,
 }
 

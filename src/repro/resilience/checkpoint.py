@@ -10,9 +10,21 @@ Durability discipline:
 
 - the header and every result record are ``flush`` + ``fsync``'d, so
   a record is either fully on disk or not in the file;
+- every record is wrapped in a CRC32 frame
+  (:func:`repro.storage.framing.frame_line`, schema 2), so a read
+  either verifies end-to-end or raises the typed
+  :class:`~repro.errors.IntegrityError` — a bit-flipped record can
+  never resume as a plausible wrong result. Legacy unframed (schema 1)
+  checkpoints load transparently and are upgraded on compaction;
 - a torn final line (the crash happened mid-write) is detected on
-  load and dropped by rewriting the file via write-temp-then-rename —
-  the standard atomic-replace idiom — before appending resumes;
+  load — either as unparseable JSON or as a failed frame check — and
+  dropped by rewriting the file via write-temp-then-rename — the
+  standard atomic-replace idiom — before appending resumes;
+- all I/O goes through :func:`repro.storage.io.get_io`, so the
+  ``torn-disk`` chaos scenario can crash a checkpointed sweep at
+  every write, fsync, and rename it performs; disk-level write
+  failures (``ENOSPC``, ``EIO``) surface as the typed
+  :class:`~repro.errors.StorageError`;
 - the header pins a ``config_hash`` of the sweep's workload identity,
   so resuming against the wrong workload raises
   :class:`~repro.errors.CheckpointError` instead of silently merging
@@ -42,11 +54,18 @@ from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import IO, Any, Dict, Optional
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, IntegrityError
 from repro.obs.manifest import config_hash
+from repro.storage.framing import frame_line, parse_framed_line
+from repro.storage.io import durable_append, get_io, wrap_os_error
 
 #: Version of the checkpoint JSONL layout (bump on breaking changes).
-CHECKPOINT_SCHEMA_VERSION = 1
+#: Schema 2 wraps every line in a CRC32 frame; schema 1 (unframed)
+#: files are still read transparently.
+CHECKPOINT_SCHEMA_VERSION = 2
+
+#: Schema versions this reader accepts.
+SUPPORTED_CHECKPOINT_SCHEMAS = (1, 2)
 
 
 def process_start_ticks(pid: int) -> Optional[int]:
@@ -151,8 +170,10 @@ class SweepCheckpoint:
         Tolerates exactly one torn trailing line (a crash mid-append):
         the file is compacted — rewritten whole to a temp file and
         atomically renamed over the original — so the garbage never
-        accumulates. Any other malformed content, a missing or foreign
-        header, or a ``config_hash`` mismatch raises
+        accumulates. A frame-checksum failure anywhere *else* raises
+        the typed :class:`~repro.errors.IntegrityError`; any other
+        malformed content, a missing or foreign header, or a
+        ``config_hash`` mismatch raises
         :class:`~repro.errors.CheckpointError`.
         """
         self._results = {}
@@ -170,12 +191,26 @@ class SweepCheckpoint:
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
+            is_last = index == len(lines) - 1 or (
+                index == len(lines) - 2 and not lines[-1].strip()
+            )
             try:
-                records.append(json.loads(line))
+                payload = parse_framed_line(
+                    line, context=f"{self.path}: line {index + 1}"
+                )
+            except IntegrityError:
+                # A failed frame on the final line is a torn append;
+                # anywhere else it is detected corruption, and the
+                # typed error propagates — never a plausible wrong
+                # result.
+                if is_last:
+                    torn = True
+                    break
+                raise
+            try:
+                records.append(json.loads(payload))
             except json.JSONDecodeError:
-                if index == len(lines) - 1 or (
-                    index == len(lines) - 2 and not lines[-1].strip()
-                ):
+                if is_last:
                     torn = True
                     break
                 raise CheckpointError(
@@ -186,7 +221,7 @@ class SweepCheckpoint:
                 f"{self.path}: not a sweep checkpoint (missing header)"
             )
         header = records[0]
-        if header.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        if header.get("schema") not in SUPPORTED_CHECKPOINT_SCHEMAS:
             raise CheckpointError(
                 f"{self.path}: unsupported checkpoint schema "
                 f"{header.get('schema')!r}"
@@ -214,22 +249,24 @@ class SweepCheckpoint:
     def record(self, signature: str, result: Any) -> None:
         """Durably append one completed point's result.
 
-        ``result`` must be JSON-representable. The line is flushed and
-        fsync'd before returning, so a crash immediately after loses
-        nothing.
+        ``result`` must be JSON-representable. The CRC32-framed line
+        is flushed and fsync'd before returning, so a crash
+        immediately after loses nothing. A disk-level write failure
+        (``ENOSPC``, ``EIO``, a failed fsync) raises the typed
+        :class:`~repro.errors.StorageError`.
         """
         handle = self._ensure_open()
-        line = json.dumps(
-            {"kind": "result", "signature": signature, "result": result},
-            sort_keys=True,
+        line = frame_line(
+            json.dumps(
+                {"kind": "result", "signature": signature, "result": result},
+                sort_keys=True,
+            )
         )
         try:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            durable_append(get_io(), handle, line + "\n")
         except OSError as exc:
-            raise CheckpointError(
-                f"cannot append to checkpoint {self.path}: {exc}"
+            raise wrap_os_error(
+                exc, f"append to checkpoint {self.path}"
             ) from exc
         self._results[signature] = result
 
@@ -271,11 +308,11 @@ class SweepCheckpoint:
             self._acquire_lock()
             if not self.path.exists():
                 self._write_atomically([self._header()])
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle = get_io().open(self.path, "a", encoding="utf-8")
         except OSError as exc:
             self._release_lock()
-            raise CheckpointError(
-                f"cannot open checkpoint {self.path}: {exc}"
+            raise wrap_os_error(
+                exc, f"open checkpoint {self.path}"
             ) from exc
         return self._handle
 
@@ -364,14 +401,24 @@ class SweepCheckpoint:
             pass
 
     def _write_atomically(self, records) -> None:
-        """Write ``records`` as JSONL via write-temp-then-rename."""
+        """Write ``records`` as framed JSONL via write-temp-then-rename.
+
+        The temp file is fsync'd before the rename and the parent
+        directory after it, so a crash at any point leaves either the
+        previous checkpoint or the new one — never a partial file.
+        """
+        io = get_io()
         tmp = self.path.with_name(self.path.name + ".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
+        handle = io.open(tmp, "w", encoding="utf-8")
+        try:
             for record in records:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+                framed = frame_line(json.dumps(record, sort_keys=True))
+                io.write(handle, framed + "\n")
+            io.fsync(handle)
+        finally:
+            handle.close()
+        io.replace(tmp, self.path)
+        io.fsync_dir(self.path.parent)
 
     def _compact(self, records) -> None:
         """Drop a torn tail by atomically rewriting the parsed records.
@@ -382,6 +429,10 @@ class SweepCheckpoint:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        # Compaction rewrites every line framed; upgrade the header so
+        # the file advertises the layout it now has.
+        if records and records[0].get("kind") == "header":
+            records[0]["schema"] = CHECKPOINT_SCHEMA_VERSION
         self._write_atomically(records)
 
     def __repr__(self) -> str:

@@ -64,6 +64,7 @@ def build_service(args) -> SimulationService:
         breaker_reset=args.breaker_reset,
         job_deadline=args.job_deadline,
         bench_history_path=args.bench_history,
+        scrub_interval=args.scrub_interval,
     )
 
 
@@ -179,6 +180,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="BENCH_simulator.json",
         help="benchmark trajectory history shown on /dashboard "
         "(missing file renders as an empty trajectory)",
+    )
+    parser.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the background storage scrubber over the spool every "
+        "SECONDS (scan-only; publishes storage.scrub.* metrics and "
+        "flips /readyz on unrepairable corruption; unset disables it)",
     )
     parser.add_argument(
         "--stream-artifacts",

@@ -60,6 +60,7 @@ from repro.errors import (
     QueueFullError,
     ReproError,
     ServiceError,
+    StorageError,
 )
 from repro.experiments.configs import default_workload
 from repro.experiments.runner import run_sweep_job
@@ -80,6 +81,7 @@ from repro.service.admission import AdmissionController
 from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.drain import Watchdog
 from repro.service.queue import BoundedJobQueue
+from repro.storage.scrub import Scrubber
 
 #: Job lifecycle states.
 JOB_STATES = (
@@ -185,6 +187,12 @@ class SimulationService:
             folded into the ``/dashboard`` views; ``None`` renders the
             dashboard without a trajectory section, a missing file as
             an empty history.
+        scrub_interval: Seconds between background storage-scrub
+            passes over the spool (``None`` disables the scrubber).
+            The scrubber is scan-only; it publishes
+            ``storage.scrub.*`` metrics and flips ``/readyz`` when it
+            finds unrepairable corruption (run ``repro-fsck --repair``
+            offline to clear it).
     """
 
     def __init__(
@@ -208,6 +216,7 @@ class SimulationService:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         bench_history_path=None,
+        scrub_interval: Optional[float] = None,
     ) -> None:
         self.workload = (
             workload if workload is not None else default_workload()
@@ -257,6 +266,11 @@ class SimulationService:
         self.job_runner = (
             job_runner if job_runner is not None else self._default_runner
         )
+        self.scrubber: Optional[Scrubber] = None
+        if scrub_interval is not None:
+            self.scrubber = Scrubber(
+                self.spool_dir, interval=scrub_interval, metrics=self.metrics
+            )
         self._workers_requested = max(1, workers)
         self._jobs: Dict[str, Job] = {}
         self._jobs_lock = threading.Lock()
@@ -264,6 +278,9 @@ class SimulationService:
         self._threads: List[threading.Thread] = []
         self._draining = threading.Event()
         self._stopped = threading.Event()
+        #: Last disk-level failure seen on the execute path (cleared by
+        #: the next fully successful job) — the ``/healthz`` detail.
+        self._storage_error: Optional[str] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -284,6 +301,8 @@ class SimulationService:
             self._threads.append(thread)
         if self.watchdog is not None:
             self.watchdog.start()
+        if self.scrubber is not None:
+            self.scrubber.start()
         log.info(
             f"service started: {self._workers_requested} worker(s), "
             f"queue capacity {self.queue.capacity}"
@@ -325,6 +344,8 @@ class SimulationService:
                         )
         if self.watchdog is not None:
             self.watchdog.stop()
+        if self.scrubber is not None:
+            self.scrubber.stop()
         self.write_obs()
         self._stopped.set()
         log.info(
@@ -341,14 +362,40 @@ class SimulationService:
     def ready(self) -> "tuple[bool, str]":
         """Readiness verdict: ``(ready, reason)``.
 
-        Not ready while draining or while the execute breaker is open
-        — the two states in which accepting work would be a lie.
+        Not ready while draining, while the execute breaker is open,
+        or while the storage scrubber's last pass found unrepairable
+        corruption in the spool — the states in which accepting work
+        would be a lie.
         """
         if self.draining:
             return False, "draining"
         if self.execute_breaker.state == OPEN:
             return False, "execute breaker open"
+        if self.scrubber is not None and not self.scrubber.healthy():
+            return False, (
+                "unrepairable storage corruption in spool "
+                "(run repro-fsck --repair)"
+            )
         return True, "ok"
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: liveness plus storage detail.
+
+        Stays ``{"ok": True}`` while healthy; grows a ``storage``
+        block naming the failure when a disk-level error (``ENOSPC``,
+        ``EIO``) hit the execute path or the scrubber found
+        unrepairable corruption — so an operator polling ``/healthz``
+        sees *why* jobs are failing, not a bare breaker trip.
+        """
+        payload: Dict[str, Any] = {"ok": True}
+        detail: Dict[str, Any] = {}
+        if self._storage_error is not None:
+            detail["last_error"] = self._storage_error
+        if self.scrubber is not None and not self.scrubber.healthy():
+            detail["unrepairable"] = self.scrubber.status()["unrepairable"]
+        if detail:
+            payload["storage"] = detail
+        return payload
 
     # ------------------------------------------------------------------
     # submission path
@@ -432,7 +479,33 @@ class SimulationService:
             "jobs": by_status,
             "replay": self._replay_snapshot(),
             "latency": self._latency_snapshot(),
+            "storage": self._storage_snapshot(),
             "metrics": self.metrics.snapshot(),
+        }
+
+    def _storage_snapshot(self) -> Dict[str, Any]:
+        """The ``storage.*`` namespace as a dedicated status block.
+
+        Same get-or-create discipline as :meth:`_replay_snapshot`:
+        the counters are visible (zeroed) before the first error or
+        scrub pass.
+        """
+        counter_names = (
+            "storage.errors",
+            "storage.scrub.scans",
+            "storage.scrub.verified",
+            "storage.scrub.findings",
+            "storage.scrub.unrepairable",
+        )
+        return {
+            "counters": {
+                name: self.metrics.counter(name).value
+                for name in counter_names
+            },
+            "last_error": self._storage_error,
+            "scrubber": (
+                self.scrubber.status() if self.scrubber is not None else None
+            ),
         }
 
     def _replay_snapshot(self) -> Dict[str, Any]:
@@ -581,6 +654,18 @@ class SimulationService:
             with activate(job.context):
                 with self.tracer.span("service_job", job=job.id):
                     outcome = self.job_runner(job)
+        except (StorageError, OSError) as exc:
+            # Disk-level failures (ENOSPC, EIO, a failed fsync in the
+            # checkpoint or spool) degrade gracefully: the typed error
+            # trips the execute breaker like any job failure, and the
+            # detail is stashed for /healthz so the operator sees
+            # "No space left on device", not a bare breaker trip.
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._storage_error = job.error
+            self.metrics.counter("storage.errors").inc()
+            self.execute_breaker.record_failure(exc)
+            self.metrics.counter("service.jobs.failed").inc()
+            log.error(f"job {job.id} failed on storage: {job.error}")
         except Exception as exc:
             job.error = f"{type(exc).__name__}: {exc}"
             self.execute_breaker.record_failure(exc)
@@ -640,6 +725,9 @@ class SimulationService:
             )
             return "partial"
         self.execute_breaker.record_success()
+        # A fully successful job proves the disk writes again: clear
+        # the stashed /healthz storage detail.
+        self._storage_error = None
         self.metrics.counter("service.jobs.done").inc()
         log.info(
             f"job {job.id} done: {outcome.completed()} point(s)"
@@ -773,7 +861,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         """Serve /healthz /readyz /metrics /dashboard* /jobs[/<id>[/trace]]."""
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            self._send_json(200, {"ok": True})
+            self._send_json(200, self.service.health())
         elif path == "/readyz":
             ready, reason = self.service.ready()
             self._send_json(

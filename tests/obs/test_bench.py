@@ -197,3 +197,54 @@ class TestBenchHistory:
         path.write_text("[1, 2, 3]")
         with pytest.raises(ValueError):
             BenchHistory.load(path)
+
+
+class TestBenchHistoryIntegrity:
+    """Crash-safe saves: CRC32 stamping, bitrot, and torn tails."""
+
+    def save_two_entries(self, tmp_path):
+        history = BenchHistory()
+        history.append(make_entry(sha="a" * 40, median=1.0))
+        history.append(make_entry(sha="b" * 40, median=2.0))
+        return history.save(tmp_path / "BENCH.json")
+
+    def test_save_stamps_integrity_checksum(self, tmp_path):
+        path = self.save_two_entries(tmp_path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert "integrity" in payload
+        assert len(payload["integrity"]) == 8
+
+    def test_bitrot_detected(self, tmp_path):
+        from repro.errors import IntegrityError
+
+        path = self.save_two_entries(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        # A one-character value change keeps the JSON valid; only the
+        # checksum can tell the file has drifted.
+        path.write_text(text.replace("1.02", "1.03"), encoding="utf-8")
+        with pytest.raises(IntegrityError, match="history"):
+            BenchHistory.load(path)
+
+    def test_torn_tail_skipped_and_reported(self, tmp_path):
+        path = self.save_two_entries(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        # Tear the file mid-way through the second entry, as a legacy
+        # non-atomic writer interrupted by a crash would.
+        cut = text.rindex('"config_hash"')
+        path.write_text(text[:cut], encoding="utf-8")
+        history = BenchHistory.load(path)
+        assert history.torn_tail_dropped is True
+        assert len(history) == 1
+        timing = history.latest()["results"]["l2_replay"]["timing"]
+        assert timing["median_seconds"] == pytest.approx(1.0)
+
+    def test_torn_beyond_recovery_raises(self, tmp_path):
+        path = self.save_two_entries(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: text.find('"entries"')], encoding="utf-8")
+        with pytest.raises(ValueError, match="beyond recovery"):
+            BenchHistory.load(path)
+
+    def test_atomic_save_leaves_no_temp(self, tmp_path):
+        self.save_two_entries(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH.json"]

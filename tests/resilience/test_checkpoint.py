@@ -10,6 +10,7 @@ from repro.resilience.checkpoint import (
     SweepCheckpoint,
     point_signature,
 )
+from repro.storage.framing import parse_framed_line
 
 
 class TestPointSignature:
@@ -77,9 +78,10 @@ class TestDurability:
             handle.write('{"kind": "result", "signature": "sig-c", "re')
         restored = SweepCheckpoint(path, config_hash="h").load()
         assert restored == {"sig-a": 1, "sig-b": 2}
-        # The torn line was compacted away, not left to accumulate.
+        # The torn line was compacted away, not left to accumulate,
+        # and every surviving line verifies its CRC32 frame.
         lines = path.read_text().splitlines()
-        assert all(json.loads(line) for line in lines)
+        assert all(json.loads(parse_framed_line(line)) for line in lines)
 
     def test_corrupt_interior_record_is_fatal(self, tmp_path):
         path = tmp_path / "s.ckpt"
@@ -304,4 +306,76 @@ class TestLockTakeoverIdentity:
         assert SweepCheckpoint(path).load() == {
             "sig-child": 1,
             "sig-successor": 2,
+        }
+
+
+class TestCrashMidAppend:
+    """Two-process power-failure regression: the full recovery story.
+
+    A child process appends records under an injected torn write
+    (``REPRO_IO_FAULTS``, inherited through the environment) and dies
+    mid-append, exactly as a machine losing power. The parent then
+    plays the operator: ``repro-fsck --repair`` heals the torn tail
+    and removes the dead holder's lock, the surviving prefix loads
+    exactly, and a resumed writer completes the sweep — zero silent
+    data loss, end to end.
+    """
+
+    def test_torn_append_fsck_resume(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        from repro.storage.fsck import scan_directory
+
+        path = tmp_path / "s.ckpt"
+        script = (
+            "import sys\n"
+            "from repro.resilience.checkpoint import SweepCheckpoint\n"
+            "checkpoint = SweepCheckpoint(sys.argv[1], config_hash='h')\n"
+            "checkpoint.record('sig-a', {'misses': 1})\n"
+            "checkpoint.record('sig-b', {'misses': 2})\n"
+            "checkpoint.record('sig-c', {'misses': 3})\n"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        child = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True,
+            env={
+                "PYTHONPATH": src,
+                "PATH": "/usr/bin:/bin",
+                # nth=1 is the header's atomic temp write; nth=2 the
+                # first append; the crash tears the second append.
+                "REPRO_IO_FAULTS": "torn@write:path=.ckpt,nth=3",
+            },
+            text=True,
+            timeout=60,
+        )
+        assert child.returncode != 0
+        assert "InjectedCrashError" in child.stderr
+        # Power-failure debris: a torn tail and the dead holder's lock.
+        assert path.exists()
+        lock = SweepCheckpoint(path).lock_path
+        assert lock.exists()
+
+        report = scan_directory(tmp_path, repair=True)
+        assert report["ok"] is True
+        problems = {f["problem"] for f in report["findings"]}
+        assert "torn-tail" in problems
+        assert "stale-lock" in problems
+        assert not lock.exists()
+
+        # The fsync'd prefix survives exactly; the torn record is
+        # honestly gone, never half-merged.
+        survivor = SweepCheckpoint(path, config_hash="h")
+        assert survivor.load() == {"sig-a": {"misses": 1}}
+
+        # The resumed writer finishes the job.
+        survivor.record("sig-b", {"misses": 2})
+        survivor.record("sig-c", {"misses": 3})
+        survivor.close()
+        assert SweepCheckpoint(path).load() == {
+            "sig-a": {"misses": 1},
+            "sig-b": {"misses": 2},
+            "sig-c": {"misses": 3},
         }

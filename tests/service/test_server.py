@@ -448,3 +448,110 @@ class TestCircuitOpenErrorShape:
         service.ingest_breaker.record_failure()
         with pytest.raises(CircuitOpenError):
             service.submit(payload())
+
+
+class TestStorageIntegrity:
+    """Disk faults degrade gracefully; the scrubber flips readiness."""
+
+    @staticmethod
+    def enospc_runner(job):
+        import errno
+        import os
+
+        raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))
+
+    def test_enospc_fails_job_and_trips_breaker(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            job_runner=self.enospc_runner,
+            breaker_threshold=1,
+        )
+        service.start()
+        final = wait_for_job(service, service.submit(payload())["id"])
+        assert final["status"] == "failed"
+        assert "No space left" in final["error"]
+        assert service.execute_breaker.state == OPEN
+        assert not service.ready()[0]
+        assert service.metrics.snapshot()["counters"]["storage.errors"] == 1
+
+    def test_healthz_carries_storage_detail_until_clean_job(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            job_runner=self.enospc_runner,
+            breaker_threshold=10,  # stay closed: isolate the health detail
+        )
+        service.start()
+        wait_for_job(service, service.submit(payload())["id"])
+        health = service.health()
+        assert health["ok"] is True
+        assert "No space left" in health["storage"]["last_error"]
+        assert "No space left" in service.status()["storage"]["last_error"]
+        # A fully successful job clears the stashed detail.
+        service.job_runner = ok_runner
+        wait_for_job(service, service.submit(payload(2))["id"])
+        assert service.health() == {"ok": True}
+        assert service.drain(grace=5.0)
+
+    def test_healthz_http_payload_gains_storage_block(self, tmp_path):
+        service = make_service(
+            tmp_path, job_runner=self.enospc_runner, breaker_threshold=10
+        )
+        service.start()
+        server, _ = serve_in_thread(service)
+        try:
+            host, port = server.address
+            client = HttpClient(f"http://{host}:{port}")
+            assert client.get("/healthz")[:2] == (200, {"ok": True})
+            wait_for_job(service, service.submit(payload())["id"])
+            status, body, _ = client.get("/healthz")
+            assert status == 200
+            assert body["ok"] is True
+            assert "No space left" in body["storage"]["last_error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.drain(grace=5.0)
+
+    def test_scrubber_flips_readiness_on_unrepairable(self, tmp_path):
+        service = make_service(tmp_path, scrub_interval=3600.0)
+        service.spool_dir.mkdir(parents=True, exist_ok=True)
+        corrupt = service.spool_dir / "deadbeefdeadbeef.ckpt"
+        corrupt.write_text(
+            'F1 00000000 7 {"a": 1}\nF1 00000000 7 {"b": 2}\n',
+            encoding="utf-8",
+        )
+        service.scrubber.scrub_once()
+        ready, reason = service.ready()
+        assert not ready
+        assert "repro-fsck" in reason
+        snapshot = service.status()["storage"]
+        assert snapshot["scrubber"]["healthy"] is False
+        assert snapshot["scrubber"]["passes"] == 1
+        # The operator repairs offline; the next pass clears readiness.
+        corrupt.unlink()
+        service.scrubber.scrub_once()
+        assert service.ready()[0]
+
+    def test_scrubber_lifecycle_with_service(self, tmp_path):
+        service = make_service(tmp_path, scrub_interval=0.01)
+        service.start()
+        deadline = time.monotonic() + 5.0
+        while service.scrubber.passes == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.scrubber.passes >= 1
+        assert (
+            service.metrics.snapshot()["counters"]["storage.scrub.scans"]
+            >= 1
+        )
+        assert service.drain(grace=5.0)
+        passes = service.scrubber.passes
+        time.sleep(0.05)
+        assert service.scrubber.passes == passes  # stopped with drain
+
+    def test_status_storage_block_without_scrubber(self, tmp_path):
+        service = make_service(tmp_path)
+        snapshot = service.status()["storage"]
+        assert snapshot["counters"]["storage.errors"] == 0
+        assert snapshot["counters"]["storage.scrub.scans"] == 0
+        assert snapshot["last_error"] is None
+        assert snapshot["scrubber"] is None

@@ -1,0 +1,103 @@
+"""The background storage scrubber: passes, metrics, health flips."""
+
+import time
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.storage.scrub import Scrubber
+
+
+def write_checkpoint(path, records=2):
+    with SweepCheckpoint(path, config_hash="h") as checkpoint:
+        for index in range(records):
+            checkpoint.record(f"sig-{index}", {"misses": index})
+    return path
+
+
+def rot(path):
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 3] ^= 0x01
+    path.write_bytes(bytes(raw))
+
+
+class TestScrubOnce:
+    def test_clean_pass(self, tmp_path):
+        write_checkpoint(tmp_path / "sweep.ckpt")
+        metrics = MetricsRegistry()
+        scrubber = Scrubber(tmp_path, metrics=metrics)
+        report = scrubber.scrub_once()
+        assert report["ok"] is True
+        assert scrubber.passes == 1
+        assert scrubber.healthy() is True
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["storage.scrub.scans"] == 1
+        assert snapshot["storage.scrub.verified"] >= 1
+        assert snapshot["storage.scrub.findings"] == 0
+
+    def test_scan_only_never_repairs(self, tmp_path):
+        path = write_checkpoint(tmp_path / "sweep.ckpt")
+        before = path.read_bytes()
+        rot(path)
+        rotten = path.read_bytes()
+        Scrubber(tmp_path).scrub_once()
+        assert path.read_bytes() == rotten != before
+
+    def test_unrepairable_flips_health(self, tmp_path):
+        path = write_checkpoint(tmp_path / "sweep.ckpt", records=3)
+        rot(path)
+        metrics = MetricsRegistry()
+        scrubber = Scrubber(tmp_path, metrics=metrics)
+        scrubber.scrub_once()
+        assert scrubber.healthy() is False
+        unrepairable = scrubber.unrepairable_findings()
+        assert unrepairable and unrepairable[0]["path"].endswith("sweep.ckpt")
+        assert (
+            metrics.snapshot()["counters"]["storage.scrub.unrepairable"] >= 1
+        )
+
+    def test_clean_pass_clears_condition(self, tmp_path):
+        path = write_checkpoint(tmp_path / "sweep.ckpt", records=3)
+        rot(path)
+        scrubber = Scrubber(tmp_path)
+        scrubber.scrub_once()
+        assert not scrubber.healthy()
+        path.unlink()  # operator ran repro-fsck --repair offline
+        scrubber.scrub_once()
+        assert scrubber.healthy()
+
+    def test_status_block(self, tmp_path):
+        scrubber = Scrubber(tmp_path)
+        status = scrubber.status()
+        assert status == {
+            "passes": 0,
+            "healthy": True,
+            "last_counts": None,
+            "unrepairable": [],
+        }
+        scrubber.scrub_once()
+        status = scrubber.status()
+        assert status["passes"] == 1
+        assert status["last_counts"]["findings"] == 0
+
+
+class TestThread:
+    def test_start_stop(self, tmp_path):
+        write_checkpoint(tmp_path / "sweep.ckpt")
+        scrubber = Scrubber(tmp_path, interval=0.01)
+        scrubber.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while scrubber.passes == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            scrubber.stop()
+        assert scrubber.passes >= 1
+        assert scrubber.healthy() is True
+
+    def test_start_idempotent(self, tmp_path):
+        scrubber = Scrubber(tmp_path, interval=60.0)
+        scrubber.start()
+        thread = scrubber._thread
+        scrubber.start()
+        assert scrubber._thread is thread
+        scrubber.stop()
